@@ -1,0 +1,33 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints a
+paper-vs-reproduced comparison, asserts the reproduction tolerances, and
+writes its report under ``benchmarks/reports/`` (the source material of
+EXPERIMENTS.md).
+"""
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def emit(report_dir, request):
+    """emit(text, name=None): print a report and persist it."""
+
+    def _emit(text: str, name: str | None = None) -> None:
+        fname = (name or request.node.name).replace("/", "_") + ".txt"
+        (report_dir / fname).write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

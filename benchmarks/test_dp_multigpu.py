@@ -1,0 +1,53 @@
+"""Extension promised in DESIGN.md Sec. 7: double-precision multi-GPU
+weak scaling (the paper only shows the single-precision multi-GPU curve;
+its DP data stops at one GPU).
+
+The model predicts what the paper's hardware would have delivered: DP
+halves the per-step bandwidth *and* doubles every halo message, so both
+compute and communication stretch; the DP/SP cluster ratio ends up close
+to the single-GPU DP/SP ratio (~1/3), and the DP run would still clear
+the Earth Simulator's AFES class at a fraction of the node count.
+"""
+import pytest
+
+from repro.gpu.spec import Precision
+from repro.perf.costmodel import asuca_step_cost
+from repro.perf.report import format_table
+from repro.perf.scaling import weak_scaling_sweep
+
+CONFIGS = [(2, 3), (6, 9), (12, 16), (22, 24)]
+
+
+def _sweep():
+    sp = weak_scaling_sweep(configs=CONFIGS, precision=Precision.SINGLE)
+    dp = weak_scaling_sweep(configs=CONFIGS, precision=Precision.DOUBLE)
+    return sp, dp
+
+
+def test_double_precision_weak_scaling(benchmark, emit):
+    sp, dp = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["GPUs", "SP TFlops", "DP TFlops", "DP/SP"],
+        [
+            [a.n_gpus, a.tflops_overlap, b.tflops_overlap,
+             b.tflops_overlap / a.tflops_overlap]
+            for a, b in zip(sp, dp)
+        ],
+        title="DP multi-GPU weak scaling (model prediction beyond the paper)",
+    )
+    emit(table)
+
+    # the DP/SP ratio at cluster scale tracks the single-GPU ratio
+    single_ratio = (
+        asuca_step_cost(320, 256, 48, precision=Precision.DOUBLE).gflops
+        / asuca_step_cost(320, 256, 48).gflops
+    )
+    for a, b in zip(sp, dp):
+        ratio = b.tflops_overlap / a.tflops_overlap
+        assert ratio == pytest.approx(single_ratio, rel=0.25)
+    # DP at 528 GPUs would still have been a multi-TFlops production run
+    assert dp[-1].tflops_overlap > 3.0
+    # both precisions scale monotonically
+    for series in (sp, dp):
+        tf = [p.tflops_overlap for p in series]
+        assert all(y > x for x, y in zip(tf, tf[1:]))

@@ -1,0 +1,88 @@
+"""Throughput of the *actual* NumPy dycore and its hot kernels on this
+machine — the reproduction's own performance, as opposed to the modeled
+Tesla numbers.  Useful for tracking regressions in the vectorized
+implementation (the optimization workflow of the repository's coding
+guides: measure first).
+"""
+import numpy as np
+import pytest
+
+from repro.core import advection as adv
+from repro.core.boundary import fill_halos_state
+from repro.core.grid import make_grid
+from repro.core.helmholtz import HelmholtzOperator
+from repro.core.pressure import eos_pressure, linearization_coefficient
+from repro.core.reference import make_reference_state
+from repro.core.tridiag import thomas_solve
+from repro.workloads.mountain_wave import make_mountain_wave_case
+from repro.workloads.sounding import constant_stability_sounding
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = make_grid(nx=48, ny=32, nz=24, dx=1000.0, dy=1000.0, ztop=12000.0)
+    ref = make_reference_state(g, constant_stability_sounding())
+    rng = np.random.default_rng(0)
+    phi = 300.0 + rng.normal(size=g.shape_c)
+    fx = rng.normal(size=g.shape_u)
+    fy = rng.normal(size=g.shape_v)
+    fz = rng.normal(size=g.shape_w)
+    fz[..., 0] = fz[..., -1] = 0.0
+    return g, ref, phi, fx, fy, fz
+
+
+def test_scalar_advection_kernel(benchmark, setup):
+    g, ref, phi, fx, fy, fz = setup
+    out = benchmark(adv.advect_scalar, phi, fx, fy, fz, g)
+    assert np.all(np.isfinite(g.interior(out)))
+
+
+def test_momentum_advection_kernel(benchmark, setup):
+    g, ref, phi, fx, fy, fz = setup
+    u = np.ones(g.shape_u)
+    out = benchmark(adv.advect_u, u, fx, fy, fz, g)
+    assert np.all(np.isfinite(out[g.isl_u]))
+
+
+def test_helmholtz_solve(benchmark, setup):
+    g, ref, *_ = setup
+    rhotheta_hat = ref.rhotheta_c * g.jac[:, :, None]
+    p = eos_pressure(rhotheta_hat, g)
+    cp_lin = linearization_coefficient(p, rhotheta_hat)
+    op = HelmholtzOperator(g, ref.theta_wf, cp_lin, dtau=0.5, beta=0.55)
+    rhs = np.random.default_rng(1).normal(size=(g.nxh, g.nyh, g.nz - 1))
+    w = benchmark(op.solve, rhs)
+    assert op.residual(w, rhs) < 1e-8
+
+
+def test_batched_thomas(benchmark):
+    rng = np.random.default_rng(2)
+    shape = (64, 64)
+    n = 48
+    sub = rng.uniform(-1, 1, size=shape + (n,))
+    sup = rng.uniform(-1, 1, size=shape + (n,))
+    diag = 3.0 + np.abs(sub) + np.abs(sup)
+    rhs = rng.normal(size=shape + (n,))
+    x = benchmark(thomas_solve, sub, diag, sup, rhs)
+    assert np.all(np.isfinite(x))
+
+
+def test_full_model_step(benchmark):
+    """One complete RK3/HE-VI long step, the end-to-end unit of work."""
+    case = make_mountain_wave_case(nx=32, ny=16, nz=16, dx=2000.0,
+                                   ztop=16000.0)
+    state = case.state
+
+    def step():
+        return case.model.step(state)
+
+    new = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.all(np.isfinite(new.grid.interior(new.rho)))
+
+
+def test_halo_fill(benchmark, setup):
+    g, ref, *_ = setup
+    from repro.core.state import state_from_reference
+
+    st = state_from_reference(g, ref, u0=10.0)
+    benchmark(fill_halos_state, st)

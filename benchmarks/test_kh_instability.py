@@ -1,0 +1,43 @@
+"""Validation: Kelvin-Helmholtz instability obeys the Miles-Howard
+criterion.
+
+A tanh shear layer grows billows when its center Richardson number is
+below 1/4 and stays quiescent well above it — a sharp, theory-backed test
+of the momentum advection + buoyancy coupling that is orthogonal to the
+mountain-wave validation.
+"""
+import pytest
+
+from repro.perf.report import format_table
+from repro.workloads.shear_layer import make_shear_layer_case
+
+
+def _growth(richardson: float) -> tuple[float, float, float]:
+    case = make_shear_layer_case(richardson=richardson)
+    case.run(150)
+    ke_early = case.perturbation_ke()
+    case.run(450)
+    ke_late = case.perturbation_ke()
+    return ke_early, ke_late, ke_late / ke_early
+
+
+def test_kh_richardson_criterion(benchmark, emit):
+    def sweep():
+        return {ri: _growth(ri) for ri in (0.10, 0.40)}
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["Ri", "KE early", "KE late", "growth factor", "KH expected"],
+        [
+            [ri, *res[ri], "yes" if ri < 0.25 else "no"]
+            for ri in sorted(res)
+        ],
+        title="Kelvin-Helmholtz validation (Miles-Howard: unstable iff Ri < 1/4)",
+    )
+    emit(table)
+
+    growth_unstable = res[0.10][2]
+    growth_stable = res[0.40][2]
+    assert growth_unstable > 3.0          # billows grow
+    assert growth_stable < 2.0            # stable layer stays quiet
+    assert growth_unstable > 2.0 * growth_stable

@@ -1,0 +1,45 @@
+"""Transparency bench: which calibrated constants carry the headline
+claims?  A +20% tornado sweep over the performance model's free
+parameters, reporting the elasticity of the single-GPU GFlops and the
+528-GPU TFlops.
+
+The expected structure (asserted): the memory-bandwidth efficiency is the
+dominant lever for both outputs (the paper's own thesis — the code is
+"extremely memory-bottlenecked"); compute efficiency barely matters in
+single precision; skew and message volume touch only the multi-GPU total.
+"""
+import pytest
+
+from repro.perf.report import format_table
+from repro.perf.sensitivity import sensitivity_sweep
+
+
+def test_parameter_sensitivity(benchmark, emit):
+    rows = benchmark.pedantic(sensitivity_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["parameter (+20%)", "GFlops (1 GPU)", "TFlops (528)",
+         "elasticity GF", "elasticity TF"],
+        [
+            [r.parameter, r.gflops_single, r.tflops_528,
+             r.gflops_sensitivity, r.tflops_sensitivity]
+            for r in rows
+        ],
+        title="Performance-model sensitivity (elasticity = %output / %parameter)",
+    )
+    emit(table)
+
+    by = {r.parameter: r for r in rows}
+    # memory bandwidth dominates single-GPU performance (the paper's thesis)
+    assert by["bandwidth_efficiency"].gflops_sensitivity > 0.6
+    assert by["bandwidth_efficiency"].gflops_sensitivity > \
+        3.0 * abs(by["compute_efficiency"].gflops_sensitivity)
+    # cluster-only knobs leave the single-GPU number untouched
+    for p in ("boundary_factor", "sync_skew", "extra_exchange_fields"):
+        assert abs(by[p].gflops_sensitivity) < 1e-9
+        # ...but drag the 528-GPU total down when increased
+        assert by[p].tflops_sensitivity < 0.0
+    # no single cluster knob swings the 15-TFlops claim by more than ~its
+    # own share (elasticity magnitude < 1): the claim is not an artifact
+    # of one tuned constant
+    for r in rows:
+        assert abs(r.tflops_sensitivity) < 1.0

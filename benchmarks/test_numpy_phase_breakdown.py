@@ -1,0 +1,40 @@
+"""The reproduction's own Fig.-9 analogue: wall-clock phase breakdown of
+the NumPy implementation on this machine.
+
+The paper profiles its CUDA kernels per variable; here the instrumented
+integrator reports real seconds per phase.  Structural expectations
+asserted: advection dominates the long step (it is the widest-stencil,
+most-invoked kernel family in the paper too); the warm-rain share is
+small, mirroring the paper's "1.0% GPU time" note.
+"""
+import pytest
+
+from repro.profiling import PhaseTimer, use_timer
+from repro.workloads.warm_bubble import make_warm_bubble_case
+
+
+def _profile():
+    case = make_warm_bubble_case(nx=24, ny=24, nz=16, dx=1000.0, dt=4.0)
+    timer = PhaseTimer()
+    with use_timer(timer):
+        case.run(5)
+    return timer
+
+
+def test_phase_breakdown(benchmark, emit):
+    timer = benchmark.pedantic(_profile, rounds=1, iterations=1)
+    emit("NumPy implementation phase breakdown (5 long steps, 24x24x16):\n"
+         + timer.report())
+
+    adv = (timer.seconds["advect_momentum"] + timer.seconds["advect_theta"]
+           + timer.seconds["advect_moisture"])
+    total = timer.total()
+    assert adv > 0.3 * total                     # advection dominates
+    assert timer.fraction("physics_warm_rain") < 0.1
+    assert timer.fraction("helmholtz_solve") < 0.4
+    # every instrumented phase fired the expected number of times:
+    # 3 RK stages x 5 steps = 15 slow-tendency evaluations
+    assert timer.calls["advect_momentum"] == 15
+    # substeps: (1 + ns/2 + ns) x 5 steps with ns=6 -> 10 x 5
+    assert timer.calls["acoustic_substep"] == 50
+    assert timer.calls["helmholtz_solve"] == 50

@@ -1,0 +1,102 @@
+"""Sec. VII's physics prediction, implemented — the paper's future work.
+
+"Once many physics processes are incorporated, the actual performance of
+ASUCA will also be increased because typical physics processes are compute
+bound and can easily extract GPU's performance" (Sec. V-B) and
+"future developments of ASUCA will introduce more computationally
+intensive physics processes ... which will result in increased Flops"
+(Sec. VII).  This benchmark runs the implemented cold-rain (ice)
+extension both functionally (a deep cold convection case producing snow)
+and through the cost model (sustained GFlops rise when the compute-bound
+kernel joins the mix).
+"""
+import numpy as np
+import pytest
+
+from repro.core.grid import make_grid
+from repro.core.model import AsucaModel, ModelConfig
+from repro.core.pressure import eos_pressure, exner
+from repro.core.reference import make_reference_state
+from repro.core.rk3 import DynamicsConfig
+from repro.gpu.spec import Precision, TESLA_S1070
+from repro.perf.costmodel import ASUCA_KERNELS, asuca_step_cost
+from repro.perf.report import ComparisonReport, format_table
+from repro.physics.saturation import saturation_mixing_ratio
+from repro.gpu.roofline import ridge_intensity
+from repro.workloads.sounding import tropospheric_sounding
+
+
+def test_more_physics_more_flops(benchmark, emit):
+    """The cost-model side of the prediction."""
+
+    def sweep():
+        return (asuca_step_cost(320, 256, 48),
+                asuca_step_cost(320, 256, 48, include_ice=True))
+
+    warm, cold = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["configuration", "GFlops", "flops/step", "step time [ms]"],
+        [
+            ["warm rain only (paper 2010)", warm.gflops, warm.total_flops,
+             warm.total_time * 1e3],
+            ["+ cold rain (future work)", cold.gflops, cold.total_flops,
+             cold.total_time * 1e3],
+        ],
+        title="Sec. VII physics prediction — sustained GFlops with more physics",
+    )
+    emit(table)
+
+    assert cold.gflops > warm.gflops                 # the prediction
+    assert cold.total_flops > warm.total_flops
+    # ...because the added kernel is compute bound
+    k = ASUCA_KERNELS["cold_rain"]
+    assert k.cost.intensity(Precision.SINGLE) > ridge_intensity(TESLA_S1070)
+    # and barely lengthens the step (physics is cheap in time, rich in flops)
+    assert cold.total_time < 1.05 * warm.total_time
+
+
+def test_cold_convection_produces_snow(benchmark, emit):
+    """The functional side: a vigorous moist updraft reaching -20 C and
+    colder air produces frozen condensate and (eventually) snowfall."""
+
+    def run():
+        g = make_grid(12, 12, 18, 1000.0, 1000.0, 15000.0)
+        ref = make_reference_state(g, tropospheric_sounding())
+        cfg = ModelConfig(
+            dynamics=DynamicsConfig(dt=4.0, ns=4, rayleigh_depth=3000.0),
+            physics_enabled=True, ice_enabled=True,
+        )
+        m = AsucaModel(g, ref, cfg)
+        st = m.initial_state()
+        z3 = g.z3d_c()
+        X = g.x_c()[:, None, None]
+        Y = g.y_c()[None, :, None]
+        bubble = np.maximum(0.0, 1.0 - np.sqrt(
+            ((X - 6000.0) / 3000.0) ** 2 + ((Y - 6000.0) / 3000.0) ** 2
+            + ((z3 - 2000.0) / 1500.0) ** 2))
+        st.rhotheta += st.rho * 6.0 * bubble
+        p = eos_pressure(st.rhotheta, g)
+        T = (st.rhotheta / st.rho) * exner(p)
+        st.q["qv"][...] = np.minimum(1.0, 0.7 + 0.4 * bubble) \
+            * saturation_mixing_ratio(p, T) * st.rho
+        m._exchange(st, None)
+        for _ in range(90):
+            st = m.step(st)
+        return g, m, st
+
+    g, m, st = benchmark.pedantic(run, rounds=1, iterations=1)
+    qi_max = float((st.q["qi"] / st.rho).max()) * 1e3
+    qs_max = float((st.q["qs"] / st.rho).max()) * 1e3
+    qr_max = float((st.q["qr"] / st.rho).max()) * 1e3
+    d = m.diagnostics(st)
+    emit(
+        "cold convection after 6 min:\n"
+        f"  max w      : {d.max_w:.2f} m/s\n"
+        f"  max qi     : {qi_max:.3f} g/kg\n"
+        f"  max qs     : {qs_max:.3f} g/kg\n"
+        f"  max qr     : {qr_max:.3f} g/kg\n"
+        f"  max precip : {float(st.precip_accum.max()) if st.precip_accum is not None else 0.0:.3f} mm"
+    )
+    assert d.max_w > 1.0
+    assert qi_max + qs_max > 0.0          # frozen condensate formed aloft
+    assert np.isfinite(d.max_wind)

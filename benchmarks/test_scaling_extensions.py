@@ -1,0 +1,78 @@
+"""Extensions beyond the paper's figures: strong scaling on a fixed mesh
+and the 1-D vs 2-D decomposition trade-off.
+
+The paper states its design choice without the counterfactual: "We
+decompose the given grid in both the x and y directions (2D
+decomposition)".  These benches quantify it — slab decompositions of the
+same mesh carry several times the halo volume and step time — and show
+the strong-scaling efficiency decay that makes weak scaling the paper's
+headline metric.
+"""
+import pytest
+
+from repro.perf.report import format_table
+from repro.perf.scaling import (
+    decomposition_ablation,
+    near_square_factors,
+    strong_scaling_sweep,
+)
+
+
+def test_strong_scaling(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: strong_scaling_sweep(gpu_counts=[1, 2, 6, 12, 24, 54]),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["GPUs", "grid", "local mesh", "step [ms]", "speedup", "efficiency"],
+        [
+            [p.n_gpus, f"{p.px}x{p.py}",
+             f"{p.local_mesh[0]}x{p.local_mesh[1]}x{p.local_mesh[2]}",
+             p.step_time * 1e3, p.speedup, p.efficiency]
+            for p in points
+        ],
+        title="Strong scaling — fixed 1900x2272x48 mesh (the Fig. 12 domain)",
+    )
+    emit(table)
+
+    assert points[0].efficiency == pytest.approx(1.0)
+    effs = [p.efficiency for p in points]
+    # efficiency decays monotonically as ranks shrink
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+    # but the 54-GPU point (the paper's real-data configuration) still
+    # delivers a large speedup
+    assert points[-1].speedup > 0.5 * points[-1].n_gpus
+
+
+def test_decomposition_1d_vs_2d(benchmark, emit):
+    variants = benchmark.pedantic(
+        lambda: decomposition_ablation(64), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["variant", "local mesh", "halo KB/field/exchange", "step [ms]"],
+        [
+            [v.label,
+             f"{v.local_mesh[0]}x{v.local_mesh[1]}x{v.local_mesh[2]}",
+             v.halo_bytes_per_exchange / 1e3, v.step_time * 1e3]
+            for v in variants
+        ],
+        title="Decomposition ablation — 64 GPUs on the same global mesh",
+    )
+    emit(table)
+
+    by_label = {v.label.split(" ")[0]: v for v in variants}
+    two_d = by_label["2-D"]
+    for slab in ("x-slabs", "y-slabs"):
+        assert by_label[slab].halo_bytes_per_exchange > 2.0 * two_d.halo_bytes_per_exchange
+        assert by_label[slab].step_time > 1.3 * two_d.step_time
+
+
+def test_near_square_factors(benchmark):
+    def check():
+        assert near_square_factors(528) == (22, 24)
+        assert near_square_factors(54) == (6, 9)
+        assert near_square_factors(7) == (1, 7)
+        assert near_square_factors(64) == (8, 8)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

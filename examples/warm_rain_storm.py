@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Deep moist convection with the Kessler warm-rain scheme: a nearly
+saturated warm bubble grows into a precipitating storm — the physics path
+the paper ports to the GPU ("warm rain" kernel (5) of Fig. 5).
+
+Run:  python examples/warm_rain_storm.py
+"""
+import numpy as np
+
+from repro.workloads.warm_bubble import make_warm_bubble_case
+
+
+def main() -> None:
+    case = make_warm_bubble_case(nx=20, ny=20, nz=18, dx=1000.0, dt=4.0,
+                                 bubble_dtheta=4.0)
+    g = case.grid
+    dt = case.model.config.dynamics.dt
+
+    print(f"{'t [min]':>7} {'max w':>7} {'max qc':>9} {'max qr':>9} "
+          f"{'cloud water':>12} {'max precip':>11}")
+    for minute in range(0, 21, 2):
+        target_steps = int(minute * 60 / dt)
+        done = int(round(case.state.time / dt))
+        if target_steps > done:
+            case.run(target_steps - done)
+        st = case.state
+        qc = float((st.q['qc'] / st.rho).max()) * 1e3
+        qr = float((st.q['qr'] / st.rho).max()) * 1e3
+        d = case.model.diagnostics(st)
+        print(f"{minute:7d} {d.max_w:6.2f}m {qc:7.3f}g/kg {qr:7.3f}g/kg "
+              f"{case.cloud_water_path():11.3e}kg {case.max_precip_mm():9.4f}mm")
+
+    acc = case.state.precip_accum
+    if acc is not None and acc.max() > 0:
+        from repro.viz import render_map
+
+        print("\naccumulated surface precipitation (mm, x -> across, y down):")
+        print(render_map(acc))
+    print("\ncondensation -> autoconversion -> accretion -> sedimentation:")
+    print("the full Kessler chain of the paper's physics processes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517/660 builds (`pip install -e .`) cannot produce editable wheels.
+This shim lets `python setup.py develop` (and pip's legacy fallback) work
+offline.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

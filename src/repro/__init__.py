@@ -1,0 +1,50 @@
+"""repro — a full reproduction of "An 80-Fold Speedup, 15.0 TFlops Full GPU
+Acceleration of Non-Hydrostatic Weather Model ASUCA Production Code"
+(Shimokawabe et al., SC'10).
+
+Subpackages
+-----------
+``repro.core``
+    the ASUCA dynamical core: Arakawa-C terrain-following grid, flux-form
+    FVM advection with the Koren limiter, HE-VI split-explicit time
+    integration (Wicker-Skamarock RK3 + vertically implicit tridiagonal
+    Helmholtz solve), the paper's primary contribution rebuilt from its
+    equations.
+``repro.physics``
+    Kessler warm rain and rain sedimentation.
+``repro.gpu``
+    the virtual CUDA substrate: device specs (Tesla S1070 / Fermi /
+    Opteron), roofline Eq. 6, streams/engines with a simulated clock,
+    memory capacity accounting, coalescing and shared-memory models.
+``repro.dist``
+    the simulated multi-GPU cluster: Table-I 2-D decomposition,
+    in-process MPI with bit-identical halo exchange, and the paper's
+    three communication-overlap optimizations.
+``repro.perf``
+    FLOP counting (PAPI substitute), the calibrated kernel cost table,
+    weak-scaling sweeps and the TSUBAME 2.0 projection.
+``repro.workloads``
+    mountain wave (the paper's benchmark), moist warm bubble, and the
+    synthetic "real data" forecast case.
+"""
+from . import constants
+from .core import (
+    AsucaModel,
+    DynamicsConfig,
+    ModelConfig,
+    State,
+    bell_mountain,
+    make_grid,
+    make_reference_state,
+    state_from_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "AsucaModel", "DynamicsConfig", "ModelConfig", "State",
+    "bell_mountain", "make_grid", "make_reference_state",
+    "state_from_reference",
+    "__version__",
+]

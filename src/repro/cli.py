@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      integrate a workload (mountain-wave / warm-bubble / real-case),
+             optionally decomposed and/or with a history file
+``bench``    print one of the paper-reproduction tables (fig4, roofline,
+             fig9, fig10, fig11, table1, projection)
+``info``     device specs and calibration anchors
+
+The CLI is a thin veneer over the public API; everything it does is shown
+in examples/ as library code.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'10 ASUCA GPU-paper reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="integrate a workload")
+    run.add_argument("workload",
+                     choices=["mountain-wave", "warm-bubble", "real-case"])
+    run.add_argument("--nx", type=int, default=None)
+    run.add_argument("--ny", type=int, default=None)
+    run.add_argument("--nz", type=int, default=None)
+    run.add_argument("--steps", type=int, default=50)
+    run.add_argument("--dt", type=float, default=None)
+    run.add_argument("--ranks", type=str, default=None, metavar="PXxPY",
+                     help="decompose, e.g. 2x3 (verifies against single-domain)")
+    run.add_argument("--history", type=str, default=None,
+                     help="write snapshots to this .npz")
+    run.add_argument("--history-every", type=float, default=60.0,
+                     help="seconds of model time between snapshots")
+    run.add_argument("--ice", action="store_true",
+                     help="enable the cold-rain (ice) extension")
+
+    bench = sub.add_parser("bench", help="print a paper table")
+    bench.add_argument("table",
+                       choices=["fig4", "roofline", "fig9", "fig10", "fig11",
+                                "table1", "projection"])
+
+    sub.add_parser("info", help="device specs and calibration anchors")
+
+    rep = sub.add_parser("reproduce",
+                         help="rebuild EXPERIMENTS.md from benchmark reports")
+    rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    rep.add_argument("--reports", default="benchmarks/reports")
+    return p
+
+
+# --------------------------------------------------------------------- run
+def _make_case(args):
+    from .workloads.mountain_wave import make_mountain_wave_case
+    from .workloads.real_case import make_real_case
+    from .workloads.warm_bubble import make_warm_bubble_case
+
+    kw = {}
+    for name in ("nx", "ny", "nz", "dt"):
+        v = getattr(args, name)
+        if v is not None:
+            kw[name] = v
+    if args.workload == "mountain-wave":
+        return make_mountain_wave_case(**kw)
+    if args.workload == "warm-bubble":
+        return make_warm_bubble_case(**kw)
+    return make_real_case(**kw)
+
+
+def _cmd_run(args) -> int:
+    from .dist.multigpu import MultiGpuAsuca
+    from .history import HistoryWriter
+
+    case = _make_case(args)
+    model, state, grid = case.model, case.state, case.grid
+    if args.ice:
+        model.config.ice_enabled = True
+        model.config.physics_enabled = True
+    print(f"{args.workload}: {grid.nx}x{grid.ny}x{grid.nz}, "
+          f"dt={model.config.dynamics.dt}s, {args.steps} steps")
+
+    hist = None
+    if args.history:
+        hist = HistoryWriter(grid, args.history,
+                             every_seconds=args.history_every)
+        hist.save(state)
+
+    if args.ranks:
+        px, py = (int(x) for x in args.ranks.lower().split("x"))
+        machine = MultiGpuAsuca(grid, case.ref, px, py, model.config,
+                                relaxation=getattr(model, "relaxation", None))
+        rank_states = machine.scatter_state(state)
+        machine.exchange_all(rank_states, None)
+        for i in range(args.steps):
+            rank_states = machine.step(rank_states)
+            if hist and (i + 1) % 10 == 0:
+                hist.maybe_save(machine.gather_state(rank_states))
+        state = machine.gather_state(rank_states)
+        from .core.boundary import fill_halos_state
+
+        fill_halos_state(state)
+        stats = machine.comm.stats
+        print(f"ranks {px}x{py}: {stats.messages} messages, "
+              f"{stats.bytes_total / 1e6:.1f} MB halo traffic")
+    else:
+        for i in range(args.steps):
+            state = model.step(state)
+            if hist:
+                hist.maybe_save(state)
+
+    d = model.diagnostics(state)
+    print(f"t={d.time:.0f}s  max|w|={d.max_w:.3f} m/s  "
+          f"max wind={d.max_wind:.2f} m/s  "
+          f"theta {d.min_theta:.1f}..{d.max_theta:.1f} K")
+    if state.precip_accum is not None and float(np.max(state.precip_accum)) > 0:
+        print(f"max accumulated precipitation: "
+              f"{float(np.max(state.precip_accum)):.3f} mm")
+    if hist:
+        path = hist.close()
+        print(f"history: {hist.n_snapshots} snapshots -> {path}")
+    return 0
+
+
+# -------------------------------------------------------------------- bench
+def _cmd_bench(args) -> int:
+    from .gpu.spec import Precision, TESLA_S1070
+    from .perf.costmodel import (
+        ASUCA_KERNELS,
+        ROOFLINE_KERNELS,
+        asuca_step_cost,
+        cpu_step_time,
+    )
+    from .perf.report import format_table
+
+    if args.table == "fig4":
+        rows = []
+        for ny in (32, 64, 96, 128, 160, 192, 224, 256):
+            sp = asuca_step_cost(320, ny, 48)
+            dp = (asuca_step_cost(320, ny, 48, precision=Precision.DOUBLE)
+                  if ny <= 128 else None)
+            rows.append([320 * ny * 48, sp.gflops,
+                         dp.gflops if dp else float("nan"),
+                         sp.total_flops / cpu_step_time(320, ny, 48) / 1e9])
+        print(format_table(
+            ["grid pts", "GPU SP", "GPU DP", "CPU DP"], rows,
+            title="Fig. 4 — single-GPU GFlops vs grid size"))
+    elif args.table == "roofline":
+        n = 320 * 256 * 48
+        rows = []
+        for label, name in ROOFLINE_KERNELS:
+            k = ASUCA_KERNELS[name]
+            t = k.duration(n, TESLA_S1070, Precision.SINGLE)
+            rows.append([label, k.cost.intensity(Precision.SINGLE),
+                         k.cost.flops(n) / t / 1e9])
+        print(format_table(["kernel", "AI [flop/B]", "GFlops"], rows,
+                           title="Fig. 5 — kernel roofline (SP)"))
+    elif args.table == "fig9":
+        from .dist.overlap import OverlapModel
+
+        rows = [
+            [vb.name, vb.whole * 1e6, vb.inner * 1e6, vb.boundary_y * 1e6,
+             vb.boundary_x * 1e6, vb.communication * 1e6]
+            for vb in OverlapModel().breakdown_rows()
+        ]
+        print(format_table(
+            ["variable", "whole [us]", "inner", "bnd-y", "bnd-x", "comm"],
+            rows, title="Fig. 9 — short-step breakdown at 528 GPUs"))
+    elif args.table == "fig10":
+        from .perf.scaling import weak_scaling_efficiency, weak_scaling_sweep
+
+        pts = weak_scaling_sweep()
+        rows = [[p.n_gpus, f"{p.mesh[0]}x{p.mesh[1]}x{p.mesh[2]}",
+                 p.tflops_overlap, p.tflops_nonoverlap, p.tflops_cpu]
+                for p in pts]
+        print(format_table(
+            ["GPUs", "mesh", "overlap TF", "non-ov TF", "CPU TF"], rows,
+            title="Fig. 10 — weak scaling"))
+        print(f"weak-scaling efficiency: "
+              f"{100 * weak_scaling_efficiency(pts):.1f}% (paper >= 93%)")
+    elif args.table == "fig11":
+        from .dist.overlap import OverlapModel
+
+        m = OverlapModel()
+        rows = []
+        for overlap in (True, False):
+            tl = m.step_timeline(overlap)
+            rows.append(["overlap" if overlap else "serial",
+                         tl.total * 1e3, tl.compute * 1e3, tl.mpi * 1e3,
+                         tl.gpu_cpu * 1e3])
+        print(format_table(
+            ["method", "total ms", "compute", "MPI", "GPU-CPU"], rows,
+            title="Fig. 11 — one-step breakdown at 528 GPUs"))
+    elif args.table == "table1":
+        from .dist.decomposition import TABLE1_CONFIGS, table1_mesh
+
+        rows = [[px * py, f"{px}x{py}",
+                 "x".join(map(str, table1_mesh(px, py)))]
+                for px, py in TABLE1_CONFIGS]
+        print(format_table(["GPUs", "grid", "mesh"], rows,
+                           title="Table I — GPU counts and mesh sizes"))
+    elif args.table == "projection":
+        from .perf.projection import model_projection, paper_formula_projection
+
+        f = paper_formula_projection()
+        c = model_projection(fermi_throughput=False)
+        r = model_projection(fermi_throughput=True)
+        print(format_table(
+            ["method", "TFlops"],
+            [[f.method, f.tflops], [c.method, c.tflops], [r.method, r.tflops]],
+            title="Sec. VII — TSUBAME 2.0 projection"))
+    return 0
+
+
+# --------------------------------------------------------------------- info
+def _cmd_info(_args) -> int:
+    from .gpu.spec import FERMI_M2050, OPTERON_CORE, Precision, TESLA_S1070
+    from .perf.costmodel import asuca_step_cost, cpu_step_time
+
+    for spec in (TESLA_S1070, FERMI_M2050, OPTERON_CORE):
+        print(f"{spec.name}:")
+        print(f"  peak {spec.peak_flops_sp/1e9:.1f} GF SP / "
+              f"{spec.peak_flops_dp/1e9:.1f} GF DP, "
+              f"{spec.mem_bandwidth/1e9:.1f} GB/s, "
+              f"{spec.mem_capacity/2**30:.0f} GiB")
+    sp = asuca_step_cost(320, 256, 48)
+    dp = asuca_step_cost(320, 128, 48, precision=Precision.DOUBLE)
+    t_cpu = cpu_step_time(320, 256, 48)
+    print("\ncalibration anchors (paper / model):")
+    print(f"  single GPU SP : 44.3 / {sp.gflops:.1f} GFlops")
+    print(f"  single GPU DP : 14.6 / {dp.gflops:.1f} GFlops")
+    print(f"  speedup vs CPU: 83.4 / {t_cpu / sp.total_time:.1f} x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "reproduce":
+        from .reproduce import write_experiments
+
+        path = write_experiments(args.output, args.reports)
+        print(f"wrote {path}")
+        return 0
+    return _cmd_info(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

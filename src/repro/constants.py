@@ -1,0 +1,48 @@
+"""Physical and numerical constants shared across the ASUCA reproduction.
+
+Values follow the conventions of the JMA non-hydrostatic models
+(Saito et al. 2006; Ikawa & Saito 1991) and standard dry/moist
+thermodynamics.  Everything is SI.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+# --- dry air -----------------------------------------------------------------
+RD = 287.04         #: gas constant for dry air [J kg^-1 K^-1]
+CP = 1004.5         #: specific heat of dry air at constant pressure [J kg^-1 K^-1]
+CV = CP - RD        #: specific heat of dry air at constant volume [J kg^-1 K^-1]
+GAMMA = CP / CV     #: ratio of specific heats (~1.4)
+KAPPA = RD / CP     #: Poisson constant (~0.2859)
+
+# --- water vapor -------------------------------------------------------------
+RV = 461.5          #: gas constant for water vapor [J kg^-1 K^-1]
+EPS_RV = RV / RD    #: the "epsilon" of the paper's theta_m definition (~1.608)
+LV = 2.501e6        #: latent heat of vaporization at 0 deg C [J kg^-1]
+LF = 3.34e5         #: latent heat of fusion [J kg^-1]
+LS = LV + LF        #: latent heat of sublimation [J kg^-1]
+
+# --- reference values --------------------------------------------------------
+P0 = 1.0e5          #: Exner-function reference pressure [Pa]
+G = 9.80665         #: gravitational acceleration [m s^-2]
+T0 = 273.15         #: melting point [K]
+
+# --- planetary ---------------------------------------------------------------
+OMEGA_EARTH = 7.2921e-5   #: Earth's angular velocity [rad s^-1]
+
+#: hydrometeor species carried by ASUCA (paper Sec. II, Eq. 4).
+#: Kessler warm rain only activates v, c, r; the rest advect passively,
+#: mirroring the 2010 status of the production code.
+WATER_SPECIES = ("qv", "qc", "qr", "qi", "qs", "qg", "qh")
+
+#: species handled by the warm-rain microphysics
+WARM_RAIN_SPECIES = ("qv", "qc", "qr")
+
+#: default floating point dtypes, mirroring the paper's single/double runs
+DTYPE_SINGLE = np.float32
+DTYPE_DOUBLE = np.float64
+
+
+def sound_speed_squared(p: np.ndarray | float, rho: np.ndarray | float):
+    """Adiabatic sound speed squared ``c_s^2 = gamma * p / rho``."""
+    return GAMMA * p / rho

@@ -1,0 +1,17 @@
+"""ASUCA dynamical core: grid, state, FVM advection with Koren limiter,
+HE-VI split-explicit time integration (the paper's primary contribution)."""
+from .grid import Grid, make_grid, bell_mountain, stretched_levels
+from .reference import ReferenceState, make_reference_state
+from .state import State, state_from_reference, zeros_state
+from .rk3 import DynamicsConfig, Rk3Integrator
+from .model import AsucaModel, ModelConfig, StepDiagnostics
+from .diagnostics import CflReport, cfl_report, suggest_ns, energy_budget
+
+__all__ = [
+    "Grid", "make_grid", "bell_mountain", "stretched_levels",
+    "ReferenceState", "make_reference_state",
+    "State", "state_from_reference", "zeros_state",
+    "DynamicsConfig", "Rk3Integrator",
+    "AsucaModel", "ModelConfig", "StepDiagnostics",
+    "CflReport", "cfl_report", "suggest_ns", "energy_budget",
+]

@@ -1,0 +1,54 @@
+"""Coriolis force on the Arakawa-C grid (f-plane / beta-plane).
+
+Contributes to the slow tendencies of the long time step (paper Fig. 1:
+"Coriolis force" is one of the long-step kernels).  The tendency of the
+G-weighted momenta is::
+
+    d(rhou)/dt = +f * rhov_at_u,   d(rhov)/dt = -f * rhou_at_v
+
+with four-point averages moving the staggered momenta onto each other's
+faces.  ``f`` may be a scalar (f-plane) or an ``(nyh,)`` profile
+(beta-plane, evaluated at scalar rows).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as c
+from .grid import Grid
+
+__all__ = ["coriolis_parameter", "coriolis_tendencies", "CORIOLIS_FLOPS_PER_POINT"]
+
+CORIOLIS_FLOPS_PER_POINT = 6
+
+
+def coriolis_parameter(lat_deg: float) -> float:
+    """f = 2 Omega sin(latitude)."""
+    return 2.0 * c.OMEGA_EARTH * np.sin(np.deg2rad(lat_deg))
+
+
+def coriolis_tendencies(
+    rhou: np.ndarray, rhov: np.ndarray, f: float | np.ndarray, grid: Grid
+) -> tuple[np.ndarray, np.ndarray]:
+    """(d rhou/dt, d rhov/dt) from the Coriolis force, full-shape arrays
+    valid on interior faces."""
+    du = np.zeros(grid.shape_u, dtype=rhou.dtype)
+    dv = np.zeros(grid.shape_v, dtype=rhov.dtype)
+    if np.all(np.asarray(f) == 0.0):
+        return du, dv
+
+    f_row = np.broadcast_to(np.asarray(f, dtype=np.float64), (grid.nyh,))
+
+    # rhov averaged to u faces: rows j use v faces j, j+1 of columns i-1, i
+    v4 = 0.25 * (
+        rhov[1:, :-1] + rhov[1:, 1:] + rhov[:-1, :-1] + rhov[:-1, 1:]
+    )  # at u faces 1..nxh-1
+    du[1:-1] = f_row[None, :, None] * v4
+
+    # rhou averaged to v faces: v face j uses u faces i, i+1 of rows j-1, j
+    u4 = 0.25 * (
+        rhou[:-1, 1:] + rhou[1:, 1:] + rhou[:-1, :-1] + rhou[1:, :-1]
+    )  # at v faces 1..nyh-1
+    f_vface = 0.5 * (f_row[1:] + f_row[:-1])  # f at v faces 1..nyh-1
+    dv[:, 1:-1] = -f_vface[None, :, None] * u4
+    return du, dv

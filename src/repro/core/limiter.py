@@ -1,0 +1,97 @@
+"""Flux limiters for the upwind-biased kappa=1/3 advection scheme.
+
+ASUCA uses the Koren (1993) limiter (paper Sec. II) to keep the 3rd-order
+upwind-biased face reconstruction monotone.  We implement the limiters in
+*unnormalized* form: given the upwind gradient ``g1`` and the downwind
+gradient ``g2`` of the advected quantity, ``limited(g1, g2)`` returns
+``psi(g2/g1) * g1`` without ever dividing (robust at ``g1 == 0``), where
+``psi`` is the classical limiter function.  The limited face value is then::
+
+    phi_face = phi_upwind + 0.5 * limited(g1, g2)
+
+``g1 = phi_up - phi_upup`` and ``g2 = phi_down - phi_up`` for the
+flow-direction-ordered stencil.
+
+Additional limiters (minmod, van Leer, superbee, plus the unlimited
+kappa=1/3 and 1st-order upwind) are provided for the design-choice ablation
+benchmark.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "koren", "minmod", "van_leer", "superbee", "unlimited_k13", "upwind1",
+    "get_limiter", "LIMITERS",
+]
+
+Limiter = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def koren(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """Koren (1993): ``psi(r) = max(0, min(2r, (1 + 2r)/3, 2))``.
+
+    Third-order accurate in smooth regions (reduces to the kappa=1/3
+    scheme), TVD-limited near extrema.
+    """
+    s = np.sign(g1)
+    g1s = np.abs(g1)
+    g2s = g2 * s
+    t = np.minimum(np.minimum(2.0 * g2s, (g1s + 2.0 * g2s) / 3.0), 2.0 * g1s)
+    return s * np.maximum(0.0, t)
+
+
+def minmod(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """``psi(r) = max(0, min(r, 1))`` — the most diffusive TVD limiter."""
+    s = np.sign(g1)
+    return s * np.maximum(0.0, np.minimum(g2 * s, np.abs(g1)))
+
+
+def van_leer(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """``psi(r) = (r + |r|) / (1 + |r|)`` — harmonic mean of the gradients."""
+    prod = g1 * g2
+    denom = g1 + g2
+    # where prod > 0 the gradients share a sign, so denom is bounded away
+    # from zero by each of them; the tiny guard only matters where we
+    # discard the result anyway.
+    safe = np.where(denom == 0.0, 1.0, denom)
+    return np.where(prod > 0.0, 2.0 * prod / safe, 0.0)
+
+
+def superbee(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """``psi(r) = max(0, min(2r, 1), min(r, 2))`` — the sharpest TVD limiter."""
+    s = np.sign(g1)
+    g1s = np.abs(g1)
+    g2s = g2 * s
+    a = np.minimum(2.0 * g2s, g1s)
+    b = np.minimum(g2s, 2.0 * g1s)
+    return s * np.maximum(0.0, np.maximum(a, b))
+
+
+def unlimited_k13(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """Unlimited kappa=1/3 upwind-biased correction (non-monotone)."""
+    return (g1 + 2.0 * g2) / 3.0
+
+
+def upwind1(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+    """First-order upwind: no correction at all."""
+    return np.zeros(np.broadcast(g1, g2).shape, dtype=np.result_type(g1, g2))
+
+
+LIMITERS: Dict[str, Limiter] = {
+    "koren": koren,
+    "minmod": minmod,
+    "van_leer": van_leer,
+    "superbee": superbee,
+    "unlimited_k13": unlimited_k13,
+    "upwind1": upwind1,
+}
+
+
+def get_limiter(name: str) -> Limiter:
+    try:
+        return LIMITERS[name]
+    except KeyError:
+        raise ValueError(f"unknown limiter {name!r}; choose from {sorted(LIMITERS)}") from None

@@ -1,0 +1,16 @@
+"""Simulated multi-GPU cluster substrate: 2-D decomposition (Table I),
+in-process MPI, halo exchange, the three overlap optimizations, and
+cluster/interconnect models of TSUBAME 1.2 / 2.0."""
+from .decomposition import Subdomain, decompose, table1_mesh, TABLE1_CONFIGS, make_subgrid
+from .network import ClusterSpec, LinkSpec, TSUBAME_1_2, TSUBAME_2_0
+from .mpi_sim import SimComm
+from .halo import HaloExchanger
+from .multigpu import MultiGpuAsuca
+from .overlap import OverlapConfig, OverlapModel, StepTimeline, VariableBreakdown
+
+__all__ = [
+    "Subdomain", "decompose", "table1_mesh", "TABLE1_CONFIGS", "make_subgrid",
+    "ClusterSpec", "LinkSpec", "TSUBAME_1_2", "TSUBAME_2_0",
+    "SimComm", "HaloExchanger", "MultiGpuAsuca",
+    "OverlapConfig", "OverlapModel", "StepTimeline", "VariableBreakdown",
+]

@@ -1,0 +1,138 @@
+"""Halo exchange between subdomains (paper Figs. 6 and 8).
+
+Two lockstep phases per exchange:
+
+1. **x phase** — east/west strips of width ``halo``, spanning the full y
+   extent of the local array;
+2. **y phase** — north/south strips spanning the full x extent
+   *including the x halos just filled*, which transports the corner
+   values exactly as the paper's "copy corner values on CPU" trick does
+   (Fig. 8): after both phases every diagonal halo corner holds the
+   diagonal neighbor's data.
+
+The strip geometry mirrors :mod:`repro.core.boundary`'s periodic fills
+(including the staggered-face offsets), so a decomposed run reproduces the
+single-domain arithmetic bit for bit — asserted by
+tests/dist/test_multigpu_equivalence.py.  Ranks at a non-periodic global
+edge apply the open (zero-gradient) fill instead.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.state import State
+from .decomposition import Subdomain
+from .mpi_sim import SimComm
+
+__all__ = ["HaloExchanger", "STAGGER"]
+
+#: (staggered_x, staggered_y) per prognostic field
+STAGGER: dict[str, tuple[bool, bool]] = {
+    "rho": (False, False),
+    "rhou": (True, False),
+    "rhov": (False, True),
+    "rhow": (False, False),
+    "rhotheta": (False, False),
+}
+
+
+def _stagger_of(name: str) -> tuple[bool, bool]:
+    return STAGGER.get(name, (False, False))
+
+
+class HaloExchanger:
+    """Performs field exchanges for every rank of a lockstep ensemble."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        subdomains: list[Subdomain],
+        *,
+        periodic_x: bool,
+        periodic_y: bool,
+    ):
+        self.comm = comm
+        self.subs = subdomains
+        self.periodic_x = periodic_x
+        self.periodic_y = periodic_y
+
+    # ------------------------------------------------------------ public
+    def exchange(self, states: list[State], names: list[str] | None) -> None:
+        """Refresh halos of the named fields on every rank."""
+        if names is None:
+            names = states[0].prognostic_names()
+        for name in names:
+            self._exchange_axis(states, name, axis=0)
+        for name in names:
+            self._exchange_axis(states, name, axis=1)
+
+    # ----------------------------------------------------------- helpers
+    def _exchange_axis(self, states: list[State], name: str, axis: int) -> None:
+        stag = _stagger_of(name)[axis]
+        periodic = self.periodic_x if axis == 0 else self.periodic_y
+        h = states[0].grid.halo
+
+        # post
+        for sub, st in zip(self.subs, states):
+            arr = st.get(name)
+            n_loc = sub.nx if axis == 0 else sub.ny
+            lo_nb = self._neighbor(sub, axis, -1)
+            hi_nb = self._neighbor(sub, axis, +1)
+            if hi_nb is not None:
+                # data travelling toward +axis fills the neighbor's low halo:
+                # the last h interior cells/faces (indices [n, n+h))
+                strip = _take(arr, axis, n_loc, n_loc + h)
+                self.comm.post(sub.rank, hi_nb, (name, axis, "+"), strip)
+            if lo_nb is not None:
+                # toward -axis fills the neighbor's high halo: first h
+                # interior cells (staggered: faces [h+1, 2h+1))
+                if stag:
+                    strip = _take(arr, axis, h + 1, 2 * h + 1)
+                else:
+                    strip = _take(arr, axis, h, 2 * h)
+                self.comm.post(sub.rank, lo_nb, (name, axis, "-"), strip)
+
+        # collect / open-edge fill
+        for sub, st in zip(self.subs, states):
+            arr = st.get(name)
+            n_loc = sub.nx if axis == 0 else sub.ny
+            lo_nb = self._neighbor(sub, axis, -1)
+            hi_nb = self._neighbor(sub, axis, +1)
+            if lo_nb is not None:
+                data = self.comm.collect(lo_nb, sub.rank, (name, axis, "+"))
+                _put(arr, axis, 0, h, data)
+            else:
+                edge = _take(arr, axis, h, h + 1)
+                _put(arr, axis, 0, h, np.broadcast_to(edge, _take(arr, axis, 0, h).shape))
+            if hi_nb is not None:
+                data = self.comm.collect(hi_nb, sub.rank, (name, axis, "-"))
+                if stag:
+                    _put(arr, axis, h + n_loc + 1, arr.shape[axis], data)
+                else:
+                    _put(arr, axis, h + n_loc, arr.shape[axis], data)
+            else:
+                if stag:
+                    edge = _take(arr, axis, h + n_loc, h + n_loc + 1)
+                    tgt = _take(arr, axis, h + n_loc + 1, arr.shape[axis])
+                else:
+                    edge = _take(arr, axis, h + n_loc - 1, h + n_loc)
+                    tgt = _take(arr, axis, h + n_loc, arr.shape[axis])
+                _put(arr, axis, arr.shape[axis] - tgt.shape[axis], arr.shape[axis],
+                     np.broadcast_to(edge, tgt.shape))
+
+    def _neighbor(self, sub: Subdomain, axis: int, direction: int) -> int | None:
+        if axis == 0:
+            return sub.neighbor(direction, 0, self.periodic_x, self.periodic_y)
+        return sub.neighbor(0, direction, self.periodic_x, self.periodic_y)
+
+
+def _take(arr: np.ndarray, axis: int, lo: int, hi: int) -> np.ndarray:
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(lo, hi)
+    return arr[tuple(sl)]
+
+
+def _put(arr: np.ndarray, axis: int, lo: int, hi: int, data: np.ndarray) -> None:
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(lo, hi)
+    arr[tuple(sl)] = data

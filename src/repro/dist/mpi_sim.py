@@ -1,0 +1,94 @@
+"""In-process SPMD message passing — the MPI substitute.
+
+All ranks live in one Python process and execute phases in lockstep, so
+"MPI" reduces to a deterministic mailbox: each rank posts typed messages
+(`post`), and after every rank has posted, each rank collects what was
+addressed to it (`collect`).  Buffers are copied on post, mirroring real
+MPI semantics (the sender may immediately reuse its buffer).
+
+The communicator also keeps traffic statistics (message count and bytes
+per rank pair) that the performance model and the Fig. 9/11 benchmarks
+consume — the functional path and the timing path see the exact same
+messages.
+"""
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimComm", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate message statistics."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    by_pair: dict = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_total += nbytes
+        self.by_pair[(src, dst)] += nbytes
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_total = 0
+        self.by_pair.clear()
+
+
+class SimComm:
+    """Mailbox communicator for ``n_ranks`` in-process ranks."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self._mail: dict[tuple[int, int, object], np.ndarray] = {}
+        self.stats = TrafficStats()
+
+    # ------------------------------------------------------------- p2p
+    def post(self, src: int, dst: int, tag: object, buf: np.ndarray) -> None:
+        """Non-blocking send analogue; the buffer is copied immediately."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, dst, tag)
+        if key in self._mail:
+            raise RuntimeError(f"duplicate message {key} — missing collect?")
+        self._mail[key] = np.array(buf, copy=True)
+        self.stats.record(src, dst, buf.nbytes)
+
+    def collect(self, src: int, dst: int, tag: object) -> np.ndarray:
+        """Matching receive; raises if the message was never posted."""
+        key = (src, dst, tag)
+        try:
+            return self._mail.pop(key)
+        except KeyError:
+            raise RuntimeError(
+                f"rank {dst} expected message {tag!r} from rank {src}, "
+                "but nothing was posted — lockstep ordering bug"
+            ) from None
+
+    def pending(self) -> int:
+        """Number of posted-but-uncollected messages (0 after a clean
+        exchange — asserted by the tests)."""
+        return len(self._mail)
+
+    # ------------------------------------------------------ collectives
+    def allreduce_sum(self, values: list[float]) -> float:
+        """Sum across ranks (every rank contributed one value)."""
+        if len(values) != self.n_ranks:
+            raise ValueError("allreduce needs one value per rank")
+        return float(np.sum(values))
+
+    def allreduce_max(self, values: list[float]) -> float:
+        if len(values) != self.n_ranks:
+            raise ValueError("allreduce needs one value per rank")
+        return float(np.max(values))
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.n_ranks:
+            raise ValueError(f"rank {r} out of range [0, {self.n_ranks})")

@@ -1,0 +1,235 @@
+"""Functional multi-GPU ASUCA: lockstep SPMD execution over subdomains.
+
+Each rank owns a subdomain (grid slice + reference slice + its own
+:class:`~repro.core.rk3.Rk3Integrator`) and all ranks advance through the
+long step in lockstep, pausing at every halo-exchange point of the
+generator :meth:`~repro.core.rk3.Rk3Integrator.step_phases` — exactly the
+communication pattern of the paper's Sec. V (exchanges of momentum,
+density and potential temperature inside the short time step, moisture
+once per stage).
+
+Because local geometry/reference arrays are *slices* of the global ones
+and the halo strips mirror the single-domain periodic fills, a decomposed
+run reproduces the single-domain interior bit for bit
+(tests/dist/test_multigpu_equivalence.py) — the distributed analogue of
+the paper's "results agree within machine round-off" claim.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.boundary import RelaxationBC
+from ..core.grid import Grid
+from ..core.model import ModelConfig
+from ..core.pressure import eos_pressure
+from ..core.reference import ReferenceState
+from ..core.rk3 import Rk3Integrator
+from ..core.state import State
+from ..physics.ice import cold_rain_step
+from ..physics.kessler import kessler_step
+from .decomposition import Subdomain, decompose, make_subgrid
+from .halo import STAGGER, HaloExchanger
+from .mpi_sim import SimComm
+
+__all__ = ["MultiGpuAsuca"]
+
+
+def _slice_ref(ref: ReferenceState, sub: Subdomain, halo: int) -> ReferenceState:
+    h = halo
+    sl_x = slice(sub.x0, sub.x0 + sub.nx + 2 * h)
+    sl_y = slice(sub.y0, sub.y0 + sub.ny + 2 * h)
+    return ReferenceState(
+        theta_c=ref.theta_c[sl_x, sl_y],
+        pi_c=ref.pi_c[sl_x, sl_y],
+        p_c=ref.p_c[sl_x, sl_y],
+        rho_c=ref.rho_c[sl_x, sl_y],
+        rhotheta_c=ref.rhotheta_c[sl_x, sl_y],
+        theta_wf=ref.theta_wf[sl_x, sl_y],
+        rho_wf=ref.rho_wf[sl_x, sl_y],
+        p_wf=ref.p_wf[sl_x, sl_y],
+        cs2_c=ref.cs2_c[sl_x, sl_y],
+    )
+
+
+def _field_slices(sub: Subdomain, halo: int, stag: tuple[bool, bool]):
+    h = halo
+    ex = 1 if stag[0] else 0
+    ey = 1 if stag[1] else 0
+    return (
+        slice(sub.x0, sub.x0 + sub.nx + 2 * h + ex),
+        slice(sub.y0, sub.y0 + sub.ny + 2 * h + ey),
+    )
+
+
+@dataclass
+class _Rank:
+    sub: Subdomain
+    grid: Grid
+    ref: ReferenceState
+    integrator: Rk3Integrator
+
+
+class MultiGpuAsuca:
+    """2-D-decomposed, lockstep multi-rank driver.
+
+    Parameters mirror :class:`~repro.core.model.AsucaModel`, plus the
+    process-grid shape ``(px, py)``.  The global grid's periodicity flags
+    decide whether edge ranks wrap (periodic benchmark) or apply open
+    fills (real-data case).
+    """
+
+    def __init__(
+        self,
+        global_grid: Grid,
+        global_ref: ReferenceState,
+        px: int,
+        py: int,
+        config: ModelConfig | None = None,
+        relaxation: RelaxationBC | None = None,
+    ):
+        self.global_grid = global_grid
+        self.global_ref = global_ref
+        self.config = config or ModelConfig()
+        #: global Davies relaxation (real-data case); applied per rank
+        #: with globally sliced weights/targets
+        self.relaxation = relaxation
+        self.px, self.py = px, py
+        self.subs = decompose(global_grid.nx, global_grid.ny, px, py,
+                              min_cells=global_grid.halo)
+        self.comm = SimComm(len(self.subs))
+        self.exchanger = HaloExchanger(
+            self.comm, self.subs,
+            periodic_x=global_grid.periodic_x,
+            periodic_y=global_grid.periodic_y,
+        )
+        self.ranks: list[_Rank] = []
+        for sub in self.subs:
+            grid = make_subgrid(global_grid, sub)
+            ref = _slice_ref(global_ref, sub, global_grid.halo)
+            rhotheta_ref_hat = ref.rhotheta_c * grid.jac[:, :, None]
+            p_ref = eos_pressure(rhotheta_ref_hat, grid)
+            integ = Rk3Integrator(
+                grid, ref, self.config.dynamics,
+                exchange=self._no_exchange, p_ref=p_ref,
+            )
+            self.ranks.append(_Rank(sub=sub, grid=grid, ref=ref, integrator=integ))
+
+    @staticmethod
+    def _no_exchange(state: State, names) -> None:  # pragma: no cover
+        raise RuntimeError(
+            "rank-local integrator must be driven through step_phases(); "
+            "direct step() would skip the multi-GPU exchange"
+        )
+
+    # -------------------------------------------------------- scatter/gather
+    def scatter_state(self, global_state: State) -> list[State]:
+        """Split a global state into per-rank states (copies)."""
+        h = self.global_grid.halo
+        states = []
+        for rank in self.ranks:
+            sub = rank.sub
+            kw = {}
+            for name in ("rho", "rhou", "rhov", "rhow", "rhotheta"):
+                stag = STAGGER[name]
+                sx, sy = _field_slices(sub, h, stag)
+                kw[name] = global_state.get(name)[sx, sy].copy()
+            sxc, syc = _field_slices(sub, h, (False, False))
+            q = {k: v[sxc, syc].copy() for k, v in global_state.q.items()}
+            states.append(State(grid=rank.grid, q=q, time=global_state.time, **kw))
+        return states
+
+    def gather_state(self, states: list[State]) -> State:
+        """Assemble a global state from rank states (interiors only; the
+        global halos are refilled by the caller if needed)."""
+        g = self.global_grid
+        h = g.halo
+        out = State(
+            grid=g,
+            rho=g.zeros_c(states[0].dtype),
+            rhou=g.zeros_u(states[0].dtype),
+            rhov=g.zeros_v(states[0].dtype),
+            rhow=g.zeros_w(states[0].dtype),
+            rhotheta=g.zeros_c(states[0].dtype),
+            q={k: g.zeros_c(states[0].dtype) for k in states[0].q},
+            time=states[0].time,
+        )
+        for rank, st in zip(self.ranks, states):
+            sub = rank.sub
+            for name in st.prognostic_names():
+                stag = STAGGER.get(name, (False, False))
+                loc = st.get(name)
+                glob = out.get(name)
+                ex = 1 if stag[0] else 0
+                ey = 1 if stag[1] else 0
+                glob[
+                    h + sub.x0 : h + sub.x0 + sub.nx + ex,
+                    h + sub.y0 : h + sub.y0 + sub.ny + ey,
+                ] = loc[h : h + sub.nx + ex, h : h + sub.ny + ey]
+        # per-rank diagnostics: accumulated precipitation (interior-sized)
+        if any(st.precip_accum is not None for st in states):
+            acc = np.zeros((g.nx, g.ny), dtype=states[0].dtype)
+            for rank, st in zip(self.ranks, states):
+                if st.precip_accum is not None:
+                    sub = rank.sub
+                    acc[sub.x0 : sub.x0 + sub.nx,
+                        sub.y0 : sub.y0 + sub.ny] = st.precip_accum
+            out.precip_accum = acc
+        return out
+
+    # ---------------------------------------------------------------- step
+    def exchange_all(self, states: list[State], names=None) -> None:
+        self.exchanger.exchange(states, names)
+
+    def step(self, states: list[State]) -> list[State]:
+        """One long step across all ranks, lockstep."""
+        gens = [r.integrator.step_phases(st) for r, st in zip(self.ranks, states)]
+        results: list[State | None] = [None] * len(gens)
+        live = list(range(len(gens)))
+        while live:
+            pending: list[tuple[State, list[str] | None]] = []
+            for i in list(live):
+                try:
+                    pending.append(next(gens[i]))
+                except StopIteration as stop:
+                    results[i] = stop.value
+                    live.remove(i)
+            if pending:
+                if len(pending) != len(gens):
+                    raise RuntimeError("ranks desynchronized at an exchange point")
+                fields = pending[0][1]
+                self.exchanger.exchange([st for st, _ in pending], fields)
+        new_states = [r for r in results if r is not None]
+
+        if self.config.physics_enabled:
+            for rank, st in zip(self.ranks, new_states):
+                kessler_step(st, rank.ref, self.config.dynamics.dt, self.config.kessler)
+                if self.config.ice_enabled:
+                    cold_rain_step(st, rank.ref, self.config.dynamics.dt,
+                                   self.config.ice)
+            fields = ["rhotheta", "qv", "qc", "qr", "rho"]
+            if self.config.ice_enabled:
+                fields += ["qi", "qs"]
+            self.exchange_all(new_states, fields)
+        if self.relaxation is not None:
+            dt = self.config.dynamics.dt
+            for rank, st in zip(self.ranks, new_states):
+                self.relaxation.apply_sliced(st, dt, rank.sub.x0, rank.sub.y0)
+        return new_states
+
+    def run(self, states: list[State], n_steps: int) -> list[State]:
+        for _ in range(n_steps):
+            states = self.step(states)
+        return states
+
+    # ---------------------------------------------------------- diagnostics
+    def total_mass(self, states: list[State]) -> float:
+        return self.comm.allreduce_sum([st.total_mass() for st in states])
+
+    def max_w(self, states: list[State]) -> float:
+        vals = []
+        for st in states:
+            _, _, w = st.velocities()
+            vals.append(float(np.abs(st.grid.interior(w)).max()))
+        return self.comm.allreduce_max(vals)

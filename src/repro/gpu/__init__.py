@@ -1,0 +1,24 @@
+"""Virtual CUDA GPU substrate: device specs, roofline model (paper Eq. 6),
+streams/engines with a simulated clock, device memory accounting, kernels
+with cost models, coalescing and shared-memory models."""
+from .spec import DeviceSpec, Precision, TESLA_S1070, FERMI_M2050, OPTERON_CORE
+from .device import GPUDevice, Stream, Event, Op
+from .memory import DeviceArray, DeviceAllocator, max_grid_fits
+from .kernel import Kernel, KernelCostModel, LaunchConfig
+from .roofline import kernel_time, attainable_flops, arithmetic_intensity, ridge_intensity
+from .coalescing import ArrayOrder, bandwidth_fraction, stride_microbenchmark
+from .sharedmem import TileSpec, ASUCA_ADVECTION_TILE, global_reads_per_point
+from .occupancy import SMLimits, GT200_LIMITS, FERMI_LIMITS, Occupancy, occupancy
+from .runtime import GpuAsucaRunner
+
+__all__ = [
+    "DeviceSpec", "Precision", "TESLA_S1070", "FERMI_M2050", "OPTERON_CORE",
+    "GPUDevice", "Stream", "Event", "Op",
+    "DeviceArray", "DeviceAllocator", "max_grid_fits",
+    "Kernel", "KernelCostModel", "LaunchConfig",
+    "kernel_time", "attainable_flops", "arithmetic_intensity", "ridge_intensity",
+    "ArrayOrder", "bandwidth_fraction", "stride_microbenchmark",
+    "TileSpec", "ASUCA_ADVECTION_TILE", "global_reads_per_point",
+    "SMLimits", "GT200_LIMITS", "FERMI_LIMITS", "Occupancy", "occupancy",
+    "GpuAsucaRunner",
+]

@@ -1,0 +1,110 @@
+"""The ASUCA kernels as *launchable* objects: the cost-table entries bound
+to the real NumPy functions they model.
+
+This is the glue the paper's Fig. 5 rests on: each named kernel has (a) an
+analytic cost (flops/bytes per point, calibrated in
+:mod:`repro.perf.costmodel`) and (b) an executable implementation.  With
+both in one object we can
+
+* launch the real computation on the virtual device and get modeled Tesla
+  timings (`Kernel.launch`), and
+* cross-validate the model: the *measured wall-time ranking* of the NumPy
+  kernels must agree with the modeled memory-traffic ranking, because
+  both the host CPU and the modeled GPU are bandwidth-bound on these
+  stencils (`measure_kernel_times`).
+"""
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core import advection as adv
+from ..core.grid import Grid
+from ..core.helmholtz import HelmholtzOperator
+from ..core.pressure import eos_pressure, linearization_coefficient
+from ..core.reference import ReferenceState
+from ..perf.costmodel import ASUCA_KERNELS
+from .kernel import Kernel
+
+__all__ = ["bind_dycore_kernels", "measure_kernel_times"]
+
+
+def bind_dycore_kernels(grid: Grid, ref: ReferenceState) -> dict[str, Kernel]:
+    """Return cost-table kernels with ``fn`` bound to real implementations
+    operating on the given grid.  Each ``fn`` takes the arrays it needs
+    and returns the computed field — launching one through
+    :meth:`~repro.gpu.kernel.Kernel.launch` therefore does the real work
+    *and* charges modeled device time.
+    """
+    jac3 = grid.jac[:, :, None]
+    rhotheta_ref = ref.rhotheta_c * jac3
+    p_ref = eos_pressure(rhotheta_ref, grid)
+    cp_lin = linearization_coefficient(p_ref, rhotheta_ref)
+    helm = HelmholtzOperator(grid, ref.theta_wf, cp_lin, dtau=0.5, beta=0.55)
+
+    def coord_transform(rho_hat: np.ndarray) -> np.ndarray:
+        # the paper's kernel (1): rho = J * rho^ (1 flop, 2 reads, 1 write)
+        return rho_hat / jac3
+
+    def pgf_x(pp: np.ndarray) -> np.ndarray:
+        out = np.zeros(grid.shape_u, dtype=pp.dtype)
+        out[1:-1] = -grid.jac_u[1:-1, :, None] * (pp[1:] - pp[:-1]) / grid.dx
+        return out
+
+    def advection(phi, fx, fy, fz):
+        return adv.advect_scalar(phi, fx, fy, fz, grid)
+
+    def helmholtz(rhs):
+        return helm.solve(rhs)
+
+    def eos(rhotheta_hat):
+        return eos_pressure(rhotheta_hat, grid)
+
+    bindings: dict[str, Callable] = {
+        "coord_transform": coord_transform,
+        "pgf_x": pgf_x,
+        "advection": advection,
+        "helmholtz": helmholtz,
+        "eos_pressure": eos,
+    }
+    out: dict[str, Kernel] = {}
+    for name, fn in bindings.items():
+        out[name] = dataclasses.replace(ASUCA_KERNELS[name], fn=fn)
+    return out
+
+
+def measure_kernel_times(
+    grid: Grid, ref: ReferenceState, *, repeats: int = 3
+) -> dict[str, float]:
+    """Best-of-N wall times [s] of the bound kernels on this machine."""
+    kernels = bind_dycore_kernels(grid, ref)
+    rng = np.random.default_rng(0)
+    rho_hat = ref.rho_c * grid.jac[:, :, None]
+    pp = rng.normal(scale=10.0, size=grid.shape_c)
+    phi = 300.0 + rng.normal(size=grid.shape_c)
+    fx = rng.normal(size=grid.shape_u)
+    fy = rng.normal(size=grid.shape_v)
+    fz = rng.normal(size=grid.shape_w)
+    fz[..., 0] = fz[..., -1] = 0.0
+    rhs = rng.normal(size=(grid.nxh, grid.nyh, grid.nz - 1))
+    rhotheta_hat = ref.rhotheta_c * grid.jac[:, :, None]
+
+    args = {
+        "coord_transform": (rho_hat,),
+        "pgf_x": (pp,),
+        "advection": (phi, fx, fy, fz),
+        "helmholtz": (rhs,),
+        "eos_pressure": (rhotheta_hat,),
+    }
+    times: dict[str, float] = {}
+    for name, k in kernels.items():
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            k.fn(*args[name])
+            best = min(best, time.perf_counter() - t0)
+        times[name] = best
+    return times

@@ -1,0 +1,183 @@
+"""Virtual CUDA device: streams, events, engines, and a simulated clock.
+
+This is the execution-model substitute for real CUDA hardware (DESIGN.md
+Sec. 2).  Work is submitted in host order exactly like the CUDA runtime:
+
+* every operation belongs to a :class:`Stream` (in-order within a stream);
+* every operation occupies an engine — ``compute`` for kernels (the GT200
+  of the paper runs one kernel at a time), ``copy`` for DMA transfers
+  (one copy engine on the S1070, so H2D and D2H serialize against each
+  other but overlap with compute);
+* an op starts at ``max(stream available, engine available, explicit
+  dependencies)`` and runs for its modeled duration.
+
+The recorded timeline is what the Fig. 9 / Fig. 11 benchmarks read out.
+Functional results are produced by really executing the wrapped NumPy
+functions; the clock is purely virtual.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from .spec import DeviceSpec, TESLA_S1070
+
+__all__ = ["Op", "Event", "Stream", "GPUDevice"]
+
+
+@dataclass
+class Op:
+    """One scheduled operation on the virtual timeline."""
+
+    name: str
+    kind: str          #: 'kernel' | 'h2d' | 'd2h'
+    stream: int
+    start: float
+    end: float
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    tag: str = ""      #: free-form grouping label for breakdown reports
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Event:
+    """CUDA-event analogue: a point on a stream's timeline."""
+
+    time: float
+
+
+class Stream:
+    """In-order work queue (CUDA stream analogue)."""
+
+    def __init__(self, device: "GPUDevice", sid: int):
+        self.device = device
+        self.sid = sid
+        self.available_at = 0.0
+
+    def record_event(self) -> Event:
+        return Event(self.available_at)
+
+    def wait_event(self, event: Event) -> None:
+        """Subsequent ops on this stream start no earlier than the event."""
+        self.available_at = max(self.available_at, event.time)
+
+    def synchronize(self) -> float:
+        return self.available_at
+
+
+class GPUDevice:
+    """One virtual GPU (or CPU core) with a simulated clock.
+
+    ``copy_engines=1`` mirrors the single DMA engine of the Tesla S1070;
+    pass 2 for devices with dual copy engines.
+    """
+
+    def __init__(self, spec: DeviceSpec = TESLA_S1070, *, copy_engines: int = 1):
+        self.spec = spec
+        # the 'mpi' engine stands for the host-side network: MPI transfers
+        # occupy it without blocking the GPU engines (paper Fig. 8)
+        self._engines: dict[str, float] = {"compute": 0.0, "mpi": 0.0}
+        for i in range(copy_engines):
+            self._engines[f"copy{i}"] = 0.0
+        self._n_copy = copy_engines
+        self.streams: list[Stream] = []
+        self.timeline: list[Op] = []
+        self.allocated_bytes = 0
+        self.default_stream = self.create_stream()
+
+    # ----------------------------------------------------------- streams
+    def create_stream(self) -> Stream:
+        s = Stream(self, len(self.streams))
+        self.streams.append(s)
+        return s
+
+    # --------------------------------------------------------- schedule
+    def _engine_for(self, kind: str) -> str:
+        if kind == "kernel":
+            return "compute"
+        if kind == "mpi":
+            return "mpi"
+        # copies round-robin over DMA engines by direction when there are
+        # two, otherwise share the single engine
+        if self._n_copy >= 2:
+            return "copy0" if kind == "h2d" else "copy1"
+        return "copy0"
+
+    def schedule(
+        self,
+        name: str,
+        kind: str,
+        stream: Stream,
+        duration: float,
+        *,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        after: Iterable[Event] = (),
+        tag: str = "",
+    ) -> Op:
+        """Place an op on the timeline; returns it (its ``end`` is when a
+        subsequent dependent op may start)."""
+        if duration < 0:
+            raise ValueError("negative duration")
+        engine = self._engine_for(kind)
+        start = max(
+            stream.available_at,
+            self._engines[engine],
+            *(ev.time for ev in after),
+        ) if after else max(stream.available_at, self._engines[engine])
+        end = start + duration
+        stream.available_at = end
+        self._engines[engine] = end
+        op = Op(name=name, kind=kind, stream=stream.sid, start=start, end=end,
+                flops=flops, bytes_moved=bytes_moved, tag=tag)
+        self.timeline.append(op)
+        return op
+
+    # ------------------------------------------------------------- clock
+    def synchronize(self) -> float:
+        """Wait for everything (returns the makespan) and align all
+        streams/engines to it — cudaDeviceSynchronize analogue."""
+        t = self.elapsed()
+        for s in self.streams:
+            s.available_at = t
+        for k in self._engines:
+            self._engines[k] = t
+        return t
+
+    def elapsed(self) -> float:
+        """Current makespan of all submitted work."""
+        if not self.timeline:
+            return 0.0
+        return max(op.end for op in self.timeline)
+
+    def reset(self) -> None:
+        """Clear the timeline and rewind the clock (memory stays)."""
+        self.timeline.clear()
+        for s in self.streams:
+            s.available_at = 0.0
+        for k in self._engines:
+            self._engines[k] = 0.0
+
+    # --------------------------------------------------------- reporting
+    def busy_time(self, kind: str | None = None, tag: str | None = None) -> float:
+        """Total op time filtered by kind and/or tag (may exceed the
+        makespan when work overlaps across engines)."""
+        return sum(
+            op.duration
+            for op in self.timeline
+            if (kind is None or op.kind == kind) and (tag is None or op.tag == tag)
+        )
+
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.timeline)
+
+    def sustained_flops(self) -> float:
+        """FLOP / makespan — the quantity the paper reports as GFlops."""
+        t = self.elapsed()
+        return self.total_flops() / t if t > 0 else 0.0

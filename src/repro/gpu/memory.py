@@ -1,0 +1,111 @@
+"""Device memory: allocation accounting, layouts, and host<->device
+transfers.
+
+Allocation is tracked against the device's capacity so the paper's
+memory-limit observations are reproducible (Sec. IV-B: "The amount of
+memory on Tesla S1070 (4 GByte) limits a grid size to no more than
+320 x 256 x 48 in single precision" — and half that extent in double).
+Transfers really move the data (``np.copyto``) and charge PCIe time on the
+device timeline.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .coalescing import ArrayOrder
+from .device import Event, GPUDevice, Stream
+
+__all__ = ["DeviceArray", "DeviceAllocator", "asuca_field_count", "max_grid_fits"]
+
+#: Effective number of resident 3-D fields of the full-GPU ASUCA: 5
+#: dynamical prognostics + 7 water substances, each with long-step base
+#: copies, RK-stage values, slow tendencies, acoustic work arrays,
+#: pressure/EOS diagnostics and halo-packing buffers.  Calibrated so that
+#: 320 x 256 x 48 in single precision is the largest (ny multiple of 32)
+#: mesh fitting a 4 GiB Tesla S1070 and 320 x 128 x 48 the largest in
+#: double precision — exactly the paper's Sec. IV-B statements.
+ASUCA_RESIDENT_FIELDS = 256
+
+
+def asuca_field_count() -> int:
+    return ASUCA_RESIDENT_FIELDS
+
+
+class DeviceArray:
+    """An array resident in (virtual) device memory."""
+
+    def __init__(self, device: GPUDevice, shape: tuple[int, ...], dtype,
+                 order: ArrayOrder = ArrayOrder.XZY):
+        self.device = device
+        self.order = order
+        self.data = np.zeros(shape, dtype=dtype)
+        device_mem = self.data.nbytes
+        if device.allocated_bytes + device_mem > device.spec.mem_capacity:
+            raise MemoryError(
+                f"device OOM: {device.allocated_bytes + device_mem} B needed, "
+                f"{device.spec.mem_capacity} B capacity ({device.spec.name})"
+            )
+        device.allocated_bytes += device_mem
+        self._freed = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def free(self) -> None:
+        if not self._freed:
+            self.device.allocated_bytes -= self.data.nbytes
+            self._freed = True
+
+    # ------------------------------------------------------- transfers
+    def copy_from_host(self, host: np.ndarray, stream: Stream | None = None,
+                       *, tag: str = "") -> Event:
+        """cudaMemcpyAsync(H2D) analogue: move data now, charge PCIe time
+        on the stream.  Returns an event marking completion."""
+        np.copyto(self.data, host)
+        return self._charge("h2d", host.nbytes, stream, tag)
+
+    def copy_to_host(self, host: np.ndarray, stream: Stream | None = None,
+                     *, tag: str = "") -> Event:
+        np.copyto(host, self.data)
+        return self._charge("d2h", host.nbytes, stream, tag)
+
+    def _charge(self, kind: str, nbytes: int, stream: Stream | None, tag: str) -> Event:
+        dev = self.device
+        stream = stream or dev.default_stream
+        duration = nbytes / dev.spec.pcie_bandwidth
+        op = dev.schedule(f"{kind}:{nbytes}B", kind, stream, duration,
+                          bytes_moved=nbytes, tag=tag)
+        return Event(op.end)
+
+
+class DeviceAllocator:
+    """Helper answering 'does this grid fit?' for capacity planning."""
+
+    def __init__(self, device: GPUDevice, n_fields: int = ASUCA_RESIDENT_FIELDS):
+        self.device = device
+        self.n_fields = n_fields
+
+    def grid_bytes(self, nx: int, ny: int, nz: int, itemsize: int) -> int:
+        return nx * ny * nz * itemsize * self.n_fields
+
+    def fits(self, nx: int, ny: int, nz: int, itemsize: int) -> bool:
+        return self.grid_bytes(nx, ny, nz, itemsize) <= self.device.spec.mem_capacity
+
+
+def max_grid_fits(
+    capacity: int, nx: int, nz: int, itemsize: int,
+    n_fields: int = ASUCA_RESIDENT_FIELDS,
+) -> int:
+    """Largest ny such that (nx, ny, nz) fits — regenerates the paper's
+    320 x 256 x 48 (SP) / 320 x 128 x 48 (DP) observations."""
+    per_y = nx * nz * itemsize * n_fields
+    return capacity // per_y

@@ -1,0 +1,116 @@
+"""CUDA occupancy model (GT200-era rules).
+
+The paper's launch configurations — (64, 4, 1) thread blocks with a
+(64+3)x(4+3) shared-memory tile — were chosen so enough blocks stay
+resident per SM to hide the 400-600-cycle global-memory latency
+(Sec. III/IV).  This module reproduces the CUDA occupancy calculator for
+that hardware generation: resident blocks are limited by threads, shared
+memory, registers and the per-SM block cap; occupancy is resident warps
+over the maximum.
+
+Used by the tests to verify the paper's configuration is sound and by the
+kernel model to justify the latency-hiding saturation curve.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SMLimits", "GT200_LIMITS", "FERMI_LIMITS", "Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class SMLimits:
+    """Per-multiprocessor resource limits."""
+
+    name: str
+    max_threads: int
+    max_blocks: int
+    max_warps: int
+    warp_size: int
+    registers: int            #: 32-bit registers per SM
+    shared_memory: int        #: bytes per SM
+    register_granularity: int = 512   #: allocation rounding (per block)
+    shared_granularity: int = 512
+
+
+GT200_LIMITS = SMLimits(
+    name="GT200 (Tesla S1070)",
+    max_threads=1024,
+    max_blocks=8,
+    max_warps=32,
+    warp_size=32,
+    registers=16384,
+    shared_memory=16 * 1024,
+)
+
+FERMI_LIMITS = SMLimits(
+    name="Fermi (M2050)",
+    max_threads=1536,
+    max_blocks=8,
+    max_warps=48,
+    warp_size=32,
+    registers=32768,
+    shared_memory=48 * 1024,
+)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float                   #: resident warps / max warps
+    limiter: str                       #: which resource binds
+
+    @property
+    def latency_hiding_ok(self) -> bool:
+        """Rule of thumb from the paper's era: >= 50% occupancy suffices
+        to hide global-memory latency for streaming kernels."""
+        return self.occupancy >= 0.5
+
+
+def _round_up(x: int, gran: int) -> int:
+    return -(-x // gran) * gran
+
+
+def occupancy(
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 16,
+    shared_per_block: int = 0,
+    limits: SMLimits = GT200_LIMITS,
+) -> Occupancy:
+    """Resident blocks/warps per SM and the binding resource."""
+    if threads_per_block < 1 or threads_per_block > limits.max_threads:
+        raise ValueError(
+            f"block of {threads_per_block} threads outside (0, "
+            f"{limits.max_threads}]"
+        )
+    warps_per_block = -(-threads_per_block // limits.warp_size)
+
+    candidates = {
+        "thread limit": limits.max_threads // threads_per_block,
+        "block limit": limits.max_blocks,
+        "warp limit": limits.max_warps // warps_per_block,
+    }
+    if registers_per_thread > 0:
+        regs_block = _round_up(
+            registers_per_thread * threads_per_block, limits.register_granularity
+        )
+        candidates["registers"] = limits.registers // regs_block
+    if shared_per_block > 0:
+        sh_block = _round_up(shared_per_block, limits.shared_granularity)
+        candidates["shared memory"] = limits.shared_memory // sh_block
+
+    limiter = min(candidates, key=lambda k: candidates[k])
+    blocks = candidates[limiter]
+    if blocks < 1:
+        return Occupancy(0, 0, 0.0, limiter)
+    warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / limits.max_warps,
+        limiter=limiter,
+    )

@@ -1,0 +1,80 @@
+"""The paper's performance model (Eq. 6) and roofline utilities.
+
+    Performance = FLOP / ( FLOP/Fpeak + Byte/Bpeak + alpha )
+
+``alpha`` is "the time taken by other operations except both
+floating-point and memory access operations" — kernel-launch latency,
+instruction overhead, synchronization.  Fig. 5 plots attainable GFlops
+against arithmetic intensity (FLOP/Byte); this module regenerates that
+curve and places kernels on it.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import DeviceSpec, Precision
+
+__all__ = [
+    "kernel_time",
+    "attainable_flops",
+    "arithmetic_intensity",
+    "ridge_intensity",
+]
+
+
+def kernel_time(
+    flops: float,
+    bytes_moved: float,
+    spec: DeviceSpec,
+    precision: Precision = Precision.SINGLE,
+    *,
+    alpha: float = 0.0,
+    n_points: float | None = None,
+    bandwidth_fraction: float = 1.0,
+    compute_fraction: float | None = None,
+) -> float:
+    """Execution time [s] of one kernel under Eq. 6.
+
+    ``bandwidth_fraction`` models coalescing losses (Sec. IV-A-1 array
+    ordering); ``n_points`` activates the latency-hiding saturation curve;
+    ``compute_fraction`` overrides the device's sustained-compute
+    efficiency.
+    """
+    fpeak = spec.peak_flops(precision) * (
+        compute_fraction if compute_fraction is not None else spec.compute_efficiency
+    )
+    bw = (
+        spec.effective_bandwidth(n_points) if n_points is not None else spec.mem_bandwidth
+    ) * bandwidth_fraction * spec.bandwidth_efficiency
+    # a zero-point launch (e.g. a boundary kernel on a rank with no such
+    # boundary) moves no bytes; avoid 0/0 through the saturation curve
+    mem_time = bytes_moved / bw if bytes_moved > 0.0 else 0.0
+    return flops / fpeak + mem_time + alpha
+
+
+def attainable_flops(
+    intensity: float | np.ndarray,
+    spec: DeviceSpec,
+    precision: Precision = Precision.SINGLE,
+    *,
+    alpha_per_byte: float = 0.0,
+    compute_fraction: float = 1.0,
+) -> np.ndarray:
+    """Attainable performance [flop/s] vs arithmetic intensity [flop/B]
+    — the curved line of Fig. 5 (with alpha = 0 "because of
+    simplification", as the paper notes)."""
+    intensity = np.asarray(intensity, dtype=np.float64)
+    fpeak = spec.peak_flops(precision) * compute_fraction
+    denom = intensity / fpeak + 1.0 / spec.mem_bandwidth + alpha_per_byte
+    return intensity / denom
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """FLOP/Byte ratio."""
+    return flops / bytes_moved
+
+
+def ridge_intensity(spec: DeviceSpec, precision: Precision = Precision.SINGLE) -> float:
+    """Intensity at which a kernel turns compute bound
+    (``Fpeak / Bpeak``); ~6.75 flop/B for the Tesla S1070 in SP."""
+    return spec.peak_flops(precision) / spec.mem_bandwidth

@@ -1,0 +1,4 @@
+"""Re-export of :mod:`repro.profiling` under the perf namespace."""
+from ..profiling import PhaseTimer, profile_phase, use_timer
+
+__all__ = ["PhaseTimer", "profile_phase", "use_timer"]

@@ -1,0 +1,72 @@
+"""Row/series formatting shared by every benchmark.
+
+Each benchmark regenerates one paper table or figure and prints it through
+these helpers, so ``pytest benchmarks/ --benchmark-only`` emits a uniform
+"paper vs. reproduced" report (captured into EXPERIMENTS.md).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["format_table", "ComparisonReport"]
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            if x == 0:
+                return "0"
+            if abs(x) >= 1000 or abs(x) < 0.01:
+                return f"{x:.3g}"
+            return f"{x:.3f}".rstrip("0").rstrip(".")
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ComparisonReport:
+    """Collects (quantity, paper value, reproduced value) triples and
+    renders the pass/fail summary each benchmark prints."""
+
+    experiment: str
+    rows: list[tuple[str, float, float, float]] = field(default_factory=list)
+
+    def add(self, name: str, paper: float, ours: float, rel_tol: float = 0.25) -> None:
+        self.rows.append((name, paper, ours, rel_tol))
+
+    def all_within_tolerance(self) -> bool:
+        return all(
+            paper == 0 or abs(ours - paper) <= tol * abs(paper)
+            for _, paper, ours, tol in self.rows
+        )
+
+    def render(self) -> str:
+        body = format_table(
+            ["quantity", "paper", "reproduced", "ratio", "ok"],
+            [
+                [
+                    name,
+                    paper,
+                    ours,
+                    ours / paper if paper else float("nan"),
+                    "yes" if paper == 0 or abs(ours - paper) <= tol * abs(paper) else "NO",
+                ]
+                for name, paper, ours, tol in self.rows
+            ],
+            title=f"== {self.experiment} ==",
+        )
+        return body

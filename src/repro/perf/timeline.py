@@ -1,0 +1,87 @@
+"""Timeline inspection and reporting helpers.
+
+Turns a :class:`~repro.gpu.device.GPUDevice` op log into the breakdowns
+the paper's figures show: per-kind busy times (Fig. 11), per-name
+aggregates (Fig. 9), stream occupancy, and a text Gantt chart for
+eyeballing the overlap structure.
+"""
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..gpu.device import GPUDevice, Op
+
+__all__ = ["TimelineSummary", "summarize", "gantt_text", "busy_by_name"]
+
+
+@dataclass
+class TimelineSummary:
+    """Aggregates of one device timeline."""
+
+    makespan: float
+    busy_by_kind: dict[str, float]
+    busy_by_tag: dict[str, float]
+    op_count: int
+    #: fraction of the makespan during which >= 2 engines were active
+    overlap_fraction: float
+
+
+def summarize(device: GPUDevice) -> TimelineSummary:
+    ops = device.timeline
+    by_kind: dict[str, float] = defaultdict(float)
+    by_tag: dict[str, float] = defaultdict(float)
+    for op in ops:
+        by_kind[op.kind] += op.duration
+        if op.tag:
+            by_tag[op.tag] += op.duration
+    makespan = device.elapsed()
+
+    # sweep for multi-engine concurrency
+    events: list[tuple[float, int]] = []
+    for op in ops:
+        if op.duration > 0:
+            events.append((op.start, +1))
+            events.append((op.end, -1))
+    events.sort()
+    active = 0
+    prev_t = 0.0
+    overlapped = 0.0
+    for t, d in events:
+        if active >= 2:
+            overlapped += t - prev_t
+        active += d
+        prev_t = t
+    return TimelineSummary(
+        makespan=makespan,
+        busy_by_kind=dict(by_kind),
+        busy_by_tag=dict(by_tag),
+        op_count=len(ops),
+        overlap_fraction=overlapped / makespan if makespan > 0 else 0.0,
+    )
+
+
+def busy_by_name(device: GPUDevice, prefix: str | None = None) -> dict[str, float]:
+    """Total time per op name (optionally filtered by name prefix)."""
+    out: dict[str, float] = defaultdict(float)
+    for op in device.timeline:
+        if prefix is None or op.name.startswith(prefix):
+            out[op.name] += op.duration
+    return dict(out)
+
+
+def gantt_text(device: GPUDevice, *, width: int = 80, max_ops: int = 60) -> str:
+    """ASCII Gantt chart of the first ``max_ops`` ops, one row per op,
+    grouped by stream — a poor man's Fig. 8."""
+    ops = device.timeline[:max_ops]
+    if not ops:
+        return "(empty timeline)"
+    t1 = max(op.end for op in ops)
+    scale = (width - 1) / t1 if t1 > 0 else 0.0
+    lines = [f"timeline 0 .. {t1 * 1e3:.2f} ms ({len(ops)} ops shown)"]
+    for op in ops:
+        a = int(op.start * scale)
+        b = max(a + 1, int(op.end * scale))
+        bar = " " * a + "#" * (b - a)
+        lines.append(f"s{op.stream} {op.kind:6s} |{bar:<{width}}| {op.name}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Physics processes: Kessler warm rain, rain sedimentation, and the
+cold-rain (ice/snow) extension."""
+from .ice import IceConfig, cold_rain_step
+from .kessler import KesslerConfig, kessler_step
+from .surface import SurfaceConfig, apply_newtonian_cooling, apply_surface_heating
+from .sedimentation import sediment_rain, terminal_velocity
+
+__all__ = ["KesslerConfig", "kessler_step", "IceConfig", "cold_rain_step",
+           "SurfaceConfig", "apply_newtonian_cooling", "apply_surface_heating",
+           "sediment_rain", "terminal_velocity"]

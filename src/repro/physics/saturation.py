@@ -1,0 +1,46 @@
+"""Saturation vapor pressure and saturation mixing ratio (Tetens formula).
+
+Used by the Kessler warm-rain scheme for condensation/evaporation, as in
+the JMA-NHM physics the paper inherits (Ikawa & Saito 1991).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as c
+
+__all__ = ["saturation_vapor_pressure", "saturation_mixing_ratio", "dqs_dT"]
+
+#: Tetens constants over liquid water
+_A = 17.269
+_B = 35.86
+_ES0 = 610.78  # Pa at T0 = 273.16 K
+_T00 = 273.16
+
+
+def saturation_vapor_pressure(T: np.ndarray) -> np.ndarray:
+    """e_s(T) [Pa], Tetens over liquid water.  Valid well below freezing
+    too (supercooled water), which is all the warm-rain scheme needs."""
+    T = np.asarray(T)
+    return _ES0 * np.exp(_A * (T - _T00) / (T - _B))
+
+
+def saturation_mixing_ratio(p: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """q_vs = 0.622 e_s / (p - e_s), clipped to keep the denominator sane
+    in extreme (hot/low-pressure) corners."""
+    es = saturation_vapor_pressure(T)
+    denom = np.maximum(p - es, 0.1 * np.asarray(p))
+    return (c.RD / c.RV) * es / denom
+
+
+def dqs_dT(p: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """d(q_vs)/dT at constant pressure (analytic Tetens derivative),
+    used by the single-step saturation adjustment.
+
+    ``qs = eps es/(p - es)`` gives
+    ``dqs/dT = qs * (d ln es/dT) * p / (p - es)``.
+    """
+    es = saturation_vapor_pressure(T)
+    qs = saturation_mixing_ratio(p, T)
+    dlnes = _A * (_T00 - _B) / (T - _B) ** 2
+    return qs * dlnes * np.asarray(p) / np.maximum(p - es, 0.1 * np.asarray(p))

@@ -1,0 +1,4 @@
+"""Quantitative validation against analytic solutions."""
+from .linear_theory import linear_mountain_wave_w, pattern_correlation
+
+__all__ = ["linear_mountain_wave_w", "pattern_correlation"]

@@ -1,0 +1,23 @@
+"""Benchmark and demonstration workloads (mountain wave, warm bubble,
+shear layer, synthetic real-data case)."""
+from .mountain_wave import MountainWaveCase, make_mountain_wave_case
+from .real_case import RealCase, make_real_case
+from .shear_layer import ShearLayerCase, make_shear_layer_case
+from .warm_bubble import WarmBubbleCase, make_warm_bubble_case
+from .sounding import (
+    constant_stability_sounding,
+    isentropic_sounding,
+    isothermal_sounding,
+    tropospheric_sounding,
+)
+
+__all__ = [
+    "constant_stability_sounding",
+    "isentropic_sounding",
+    "isothermal_sounding",
+    "tropospheric_sounding",
+    "MountainWaveCase", "make_mountain_wave_case",
+    "WarmBubbleCase", "make_warm_bubble_case",
+    "ShearLayerCase", "make_shear_layer_case",
+    "RealCase", "make_real_case",
+]

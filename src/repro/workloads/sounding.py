@@ -1,0 +1,76 @@
+"""Analytic atmospheric soundings (base-state potential-temperature
+profiles) used to build hydrostatically balanced reference states.
+
+The mountain-wave benchmark of the paper (Sec. IV-B, after Satomura et al.
+st-MIP) uses a constant Brunt-Vaisala-frequency atmosphere with a uniform
+10 m/s wind; the warm-bubble and real-case workloads use a
+conditionally-realistic troposphere profile.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .. import constants as c
+
+__all__ = [
+    "isothermal_sounding",
+    "constant_stability_sounding",
+    "isentropic_sounding",
+    "tropospheric_sounding",
+]
+
+Sounding = Callable[[np.ndarray], np.ndarray]
+
+
+def isentropic_sounding(theta0: float = 300.0) -> Sounding:
+    """Neutral atmosphere: constant potential temperature."""
+
+    def theta(z: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(z, dtype=np.float64), theta0)
+
+    return theta
+
+
+def constant_stability_sounding(theta0: float = 288.0, n_bv: float = 0.01) -> Sounding:
+    """Constant Brunt-Vaisala frequency N: ``theta = theta0 exp(N^2 z / g)``.
+
+    This is the standard stratification of linear mountain-wave theory and
+    of the st-MIP intercomparison the paper benchmarks against.
+    """
+
+    def theta(z: np.ndarray) -> np.ndarray:
+        return theta0 * np.exp(n_bv ** 2 * np.asarray(z, dtype=np.float64) / c.G)
+
+    return theta
+
+
+def isothermal_sounding(t0: float = 250.0) -> Sounding:
+    """Isothermal atmosphere T = t0: ``theta = t0 exp(kappa g z / (Rd t0))``
+    (exact for constant T with hydrostatic balance)."""
+
+    def theta(z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        return t0 * np.exp(c.KAPPA * c.G * z / (c.RD * t0))
+
+    return theta
+
+
+def tropospheric_sounding(
+    theta_sfc: float = 300.0,
+    dthdz_trop: float = 0.004,
+    z_tropopause: float = 12000.0,
+    dthdz_strat: float = 0.02,
+) -> Sounding:
+    """Piecewise-linear theta: weakly stable troposphere, strongly stable
+    stratosphere — a serviceable stand-in for the JMA analysis profiles."""
+
+    def theta(z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        th_trop = theta_sfc + dthdz_trop * z
+        th_top = theta_sfc + dthdz_trop * z_tropopause
+        th_strat = th_top + dthdz_strat * (z - z_tropopause)
+        return np.where(z <= z_tropopause, th_trop, th_strat)
+
+    return theta

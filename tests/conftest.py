@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import make_grid, bell_mountain
+from repro.core.reference import make_reference_state
+from repro.core.state import state_from_reference
+from repro.workloads.sounding import constant_stability_sounding
+
+
+@pytest.fixture
+def small_grid():
+    """Flat periodic grid, big enough for every stencil."""
+    return make_grid(nx=12, ny=10, nz=8, dx=1000.0, dy=1000.0, ztop=8000.0)
+
+
+@pytest.fixture
+def terrain_grid():
+    """Periodic grid with a gentle bell mountain."""
+    terr = bell_mountain(height=400.0, half_width=3000.0, x0=6000.0)
+    return make_grid(nx=12, ny=10, nz=8, dx=1000.0, dy=1000.0, ztop=8000.0,
+                     terrain=terr)
+
+
+@pytest.fixture
+def small_state(small_grid):
+    ref = make_reference_state(small_grid, constant_stability_sounding())
+    return state_from_reference(small_grid, ref, u0=10.0)
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,97 @@
+"""Tests of the CFL/energy/imbalance diagnostics."""
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    cfl_report,
+    energy_budget,
+    hydrostatic_imbalance,
+    suggest_ns,
+)
+from repro.core.grid import make_grid
+from repro.core.model import AsucaModel, ModelConfig
+from repro.core.reference import make_reference_state
+from repro.core.rk3 import DynamicsConfig
+from repro.core.state import state_from_reference
+from repro.workloads.mountain_wave import make_mountain_wave_case
+from repro.workloads.sounding import constant_stability_sounding
+
+
+@pytest.fixture
+def balanced():
+    g = make_grid(12, 8, 10, 2000.0, 2000.0, 10000.0)
+    ref = make_reference_state(g, constant_stability_sounding())
+    st = state_from_reference(g, ref, u0=10.0)
+    return g, ref, st
+
+
+def test_cfl_advective(balanced):
+    g, ref, st = balanced
+    rep = cfl_report(st, dt=10.0, ns=5)
+    # |u| = 10, dt = 10, dx = 2000 -> 0.05
+    assert rep.advective_x == pytest.approx(0.05, rel=1e-6)
+    assert rep.advective_y == pytest.approx(0.0, abs=1e-12)
+    assert rep.advective_z == pytest.approx(0.0, abs=1e-12)
+    assert rep.dtau == 2.0
+
+
+def test_cfl_acoustic_he_vi_argument(balanced):
+    """The paper's reason for HE-VI: the explicit vertical acoustic CFL
+    would be much larger than the horizontal one (dz << dx)."""
+    g, ref, st = balanced
+    rep = cfl_report(st, dt=4.0, ns=8)
+    assert rep.acoustic_vertical_explicit > rep.acoustic_horizontal
+    # horizontal acoustic CFL ~ cs * 0.5 * sqrt(2)/2000 ~ 0.12
+    assert 0.05 < rep.acoustic_horizontal < 0.3
+    assert rep.stable
+
+
+def test_cfl_unstable_detected(balanced):
+    g, ref, st = balanced
+    rep = cfl_report(st, dt=400.0, ns=2)
+    assert not rep.stable
+
+
+def test_suggest_ns(balanced):
+    g, _, _ = balanced
+    ns = suggest_ns(g, dt=4.0)
+    assert ns % 2 == 0
+    rep_dtau = 4.0 / ns
+    assert 350.0 * rep_dtau * np.hypot(1 / g.dx, 1 / g.dy) <= 0.5 + 1e-9
+    # a finer grid demands more substeps
+    g_fine = make_grid(12, 8, 10, 500.0, 500.0, 10000.0)
+    assert suggest_ns(g_fine, dt=4.0) > ns
+
+
+def test_energy_budget_positive_and_dominated_by_internal(balanced):
+    g, ref, st = balanced
+    e = energy_budget(st)
+    assert e.kinetic > 0 and e.internal > 0 and e.potential > 0
+    assert e.internal > e.potential > e.kinetic
+    assert e.total == pytest.approx(e.kinetic + e.internal + e.potential)
+
+
+def test_energy_drift_bounded_over_run():
+    case = make_mountain_wave_case(nx=16, ny=8, nz=12, dx=2000.0,
+                                   ztop=12000.0, dt=4.0)
+    e0 = energy_budget(case.state)
+    case.run(25)
+    e1 = energy_budget(case.state)
+    assert abs(e1.total - e0.total) / e0.total < 1e-3
+
+
+def test_hydrostatic_imbalance_zero_when_balanced(balanced):
+    g, ref, st = balanced
+    model = AsucaModel(g, ref, ModelConfig(dynamics=DynamicsConfig(dt=4.0, ns=4)))
+    rho_ref_hat = ref.rho_c * g.jac[:, :, None]
+    resid = hydrostatic_imbalance(st, model.p_ref, rho_ref_hat)
+    assert resid < 1e-10
+
+
+def test_hydrostatic_imbalance_detects_anomaly(balanced):
+    g, ref, st = balanced
+    model = AsucaModel(g, ref, ModelConfig(dynamics=DynamicsConfig(dt=4.0, ns=4)))
+    rho_ref_hat = ref.rho_c * g.jac[:, :, None]
+    st.rhotheta *= 1.01  # warm the whole column: buoyant imbalance
+    resid = hydrostatic_imbalance(st, model.p_ref, rho_ref_hat)
+    assert resid > 1e-3

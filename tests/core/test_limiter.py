@@ -1,0 +1,92 @@
+"""Property-based tests of the flux limiters (TVD bounds, consistency)."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import limiter as lim
+
+TVD = ["koren", "minmod", "van_leer", "superbee"]
+ALL = list(lim.LIMITERS)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_subnormal=False)
+
+
+@pytest.mark.parametrize("name", TVD)
+@given(g1=finite, g2=finite)
+def test_tvd_bounds(name, g1, g2):
+    """Unnormalized TVD bound: |psi(r) g1| <= 2 min(|g1|, |g2|) and the
+    result never has the opposite sign of g1 (psi >= 0)."""
+    f = lim.LIMITERS[name]
+    out = float(f(np.float64(g1), np.float64(g2)))
+    bound = 2.0 * min(abs(g1), abs(g2)) + 1e-9 * max(abs(g1), abs(g2), 1.0)
+    assert abs(out) <= bound
+    assert out * g1 >= -1e-12 * abs(out * g1 + 1.0)
+
+
+@pytest.mark.parametrize("name", TVD)
+@given(g1=finite, g2=finite)
+def test_zero_at_extrema(name, g1, g2):
+    """Opposite-sign gradients (a local extremum) give zero correction."""
+    f = lim.LIMITERS[name]
+    if np.sign(g1) * np.sign(g2) <= 0.0:  # includes either gradient == 0
+        assert float(f(np.float64(g1), np.float64(g2))) == 0.0
+
+
+@pytest.mark.parametrize("name", ["koren", "minmod", "van_leer"])
+@given(g=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+def test_smooth_consistency(name, g):
+    """psi(1) = 1: equal gradients pass through unchanged (2nd order)."""
+    f = lim.LIMITERS[name]
+    out = float(f(np.float64(g), np.float64(g)))
+    assert out == pytest.approx(g, rel=1e-12)
+    out = float(f(np.float64(-g), np.float64(-g)))
+    assert out == pytest.approx(-g, rel=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL)
+@given(g1=finite, g2=finite,
+       a=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+def test_scale_invariance(name, g1, g2, a):
+    """limited(a g1, a g2) == a limited(g1, g2) for a > 0."""
+    f = lim.LIMITERS[name]
+    lhs = float(f(np.float64(a * g1), np.float64(a * g2)))
+    rhs = a * float(f(np.float64(g1), np.float64(g2)))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9 * max(abs(rhs), 1.0))
+
+
+def test_koren_third_order_region():
+    """In the smooth monotone region Koren returns (g1 + 2 g2)/3 — the
+    kappa=1/3 scheme (3rd-order face reconstruction)."""
+    g1, g2 = np.float64(1.0), np.float64(1.2)
+    assert float(lim.koren(g1, g2)) == pytest.approx((1.0 + 2.4) / 3.0)
+    # matches the unlimited scheme there
+    assert float(lim.koren(g1, g2)) == pytest.approx(
+        float(lim.unlimited_k13(g1, g2)))
+
+
+def test_koren_clipping():
+    # steep downwind gradient: clipped at 2*g1
+    assert float(lim.koren(np.float64(1.0), np.float64(100.0))) == 2.0
+    # steep upwind gradient: clipped at 2*g2
+    assert float(lim.koren(np.float64(100.0), np.float64(1.0))) == 2.0
+
+
+def test_upwind1_is_zero():
+    g = np.linspace(-5, 5, 11)
+    assert np.all(lim.upwind1(g, g[::-1]) == 0.0)
+
+
+def test_get_limiter():
+    assert lim.get_limiter("koren") is lim.koren
+    with pytest.raises(ValueError):
+        lim.get_limiter("nope")
+
+
+def test_vectorized_shapes():
+    g1 = np.random.default_rng(1).normal(size=(4, 5, 6))
+    g2 = np.random.default_rng(2).normal(size=(4, 5, 6))
+    for name in ALL:
+        out = lim.LIMITERS[name](g1, g2)
+        assert out.shape == (4, 5, 6)
+        assert np.all(np.isfinite(out))

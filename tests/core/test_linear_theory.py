@@ -1,0 +1,76 @@
+"""Unit tests of the analytic linear mountain-wave reference solution."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.validation import linear_mountain_wave_w, pattern_correlation
+
+
+def _bell(nx=128, dx=1000.0, h0=100.0, a=6000.0):
+    x = (np.arange(nx) + 0.5) * dx
+    return h0 / (1.0 + ((x - nx * dx / 2) / a) ** 2), x
+
+
+def test_surface_kinematic_condition():
+    """At z = 0 the linear solution is w = U dh/dx (flow along terrain)."""
+    h, x = _bell()
+    dx = x[1] - x[0]
+    w0 = linear_mountain_wave_w(h, dx, np.array([0.0]), u0=10.0, n_bv=0.01)[:, 0]
+    dhdx = np.gradient(h, dx)
+    # spectral derivative vs finite difference: close but not identical
+    assert pattern_correlation(w0, 10.0 * dhdx) > 0.999
+    assert np.abs(w0).max() == pytest.approx(np.abs(10.0 * dhdx).max(), rel=0.05)
+
+
+def test_hydrostatic_phase_repeats():
+    """In the hydrostatic regime the field repeats with the vertical
+    wavelength 2 pi U / N."""
+    h, x = _bell(a=20000.0)  # N a / U = 20: deeply hydrostatic
+    dx = x[1] - x[0]
+    lz = 2 * np.pi * 10.0 / 0.01
+    w = linear_mountain_wave_w(h, dx, np.array([500.0, 500.0 + lz]),
+                               u0=10.0, n_bv=0.01)
+    assert pattern_correlation(w[:, 0], w[:, 1]) > 0.99
+    assert np.abs(w[:, 1]).max() == pytest.approx(np.abs(w[:, 0]).max(), rel=0.02)
+
+
+def test_evanescent_decay_for_narrow_ridge():
+    """A ridge much narrower than U/N (here a = 200 m << 1000 m) forces
+    mostly evanescent modes: the response decays with height."""
+    h, x = _bell(nx=256, dx=100.0, a=200.0)
+    w = linear_mountain_wave_w(h, 100.0, np.array([100.0, 2000.0]),
+                               u0=10.0, n_bv=0.01)
+    assert np.abs(w[:, 1]).max() < 0.3 * np.abs(w[:, 0]).max()
+
+
+def test_amplitude_linear_in_height():
+    h, x = _bell()
+    dx = x[1] - x[0]
+    z = np.array([1000.0])
+    w1 = linear_mountain_wave_w(h, dx, z, u0=10.0, n_bv=0.01)
+    w2 = linear_mountain_wave_w(2 * h, dx, z, u0=10.0, n_bv=0.01)
+    np.testing.assert_allclose(w2, 2 * w1, rtol=1e-12)
+
+
+def test_flat_terrain_zero():
+    w = linear_mountain_wave_w(np.zeros(64), 1000.0, np.array([0.0, 5000.0]),
+                               u0=10.0, n_bv=0.01)
+    np.testing.assert_allclose(w, 0.0, atol=1e-15)
+
+
+# ---------------------------------------------------------- correlation
+def test_pattern_correlation_basics():
+    a = np.array([1.0, 2.0, 3.0])
+    assert pattern_correlation(a, a) == pytest.approx(1.0)
+    assert pattern_correlation(a, -a) == pytest.approx(-1.0)
+    assert pattern_correlation(a, np.full(3, 7.0)) == 0.0  # constant field
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), scale=st.floats(0.1, 10.0),
+       offset=st.floats(-5, 5))
+def test_pattern_correlation_affine_invariance(seed, scale, offset):
+    r = np.random.default_rng(seed)
+    a = r.normal(size=50)
+    assert pattern_correlation(a, scale * a + offset) == pytest.approx(1.0)
+    assert abs(pattern_correlation(a, r.normal(size=50))) <= 1.0 + 1e-12

@@ -1,0 +1,80 @@
+"""Tests of the hydrostatic reference state."""
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.core.grid import make_grid
+from repro.core.reference import hydrostatic_exner, make_reference_state
+from repro.workloads.sounding import (
+    constant_stability_sounding,
+    isentropic_sounding,
+    isothermal_sounding,
+    tropospheric_sounding,
+)
+
+
+def test_exner_surface_value():
+    z, pi = hydrostatic_exner(isentropic_sounding(300.0), 5000.0)
+    assert pi[0] == pytest.approx(1.0)
+    assert np.all(np.diff(pi) < 0)  # decreases with height
+
+
+def test_exner_isentropic_analytic():
+    """For constant theta the Exner function is linear:
+    pi = 1 - g z / (cp theta0)."""
+    theta0 = 300.0
+    z, pi = hydrostatic_exner(isentropic_sounding(theta0), 8000.0)
+    np.testing.assert_allclose(pi, 1.0 - c.G * z / (c.CP * theta0), rtol=1e-10)
+
+
+def test_exner_nonstandard_surface_pressure():
+    z, pi = hydrostatic_exner(isentropic_sounding(), 2000.0, p_surface=9.0e4)
+    assert pi[0] == pytest.approx((0.9) ** c.KAPPA)
+
+
+def test_reference_state_flat(small_grid):
+    ref = make_reference_state(small_grid, constant_stability_sounding())
+    assert ref.theta_c.shape == small_grid.shape_c
+    assert ref.rho_wf.shape == small_grid.shape_w
+    # density decreases with height, positive everywhere
+    assert np.all(ref.rho_c > 0)
+    assert np.all(np.diff(ref.rho_c, axis=2) < 0)
+    # flat grid: columns identical
+    np.testing.assert_allclose(
+        ref.p_c, np.broadcast_to(ref.p_c[:1, :1, :], ref.p_c.shape)
+    )
+
+
+def test_reference_state_ideal_gas_consistency(small_grid):
+    ref = make_reference_state(small_grid, tropospheric_sounding())
+    T = ref.theta_c * ref.pi_c
+    np.testing.assert_allclose(ref.p_c, ref.rho_c * c.RD * T, rtol=1e-12)
+
+
+def test_reference_hydrostatic_balance_discrete(small_grid):
+    """dp/dz between cell centers matches -rho g at the face within the
+    interpolation error of the fine integration grid."""
+    ref = make_reference_state(small_grid, constant_stability_sounding())
+    g = small_grid
+    dp = np.diff(ref.p_c, axis=2)
+    dz = (g.z_c[1:] - g.z_c[:-1])[None, None, :]
+    rho_face = ref.rho_wf[:, :, 1:-1]
+    np.testing.assert_allclose(dp / dz, -rho_face * c.G, rtol=2e-3)
+
+
+def test_reference_terrain_follows_height(terrain_grid):
+    """Over the mountain, surface pressure at the lowest cell is lower than
+    over the plain (same x3 level, higher physical z)."""
+    ref = make_reference_state(terrain_grid, constant_stability_sounding())
+    zs = terrain_grid.zs
+    peak = np.unravel_index(np.argmax(zs), zs.shape)
+    plain = np.unravel_index(np.argmin(zs), zs.shape)
+    assert ref.p_c[peak[0], peak[1], 0] < ref.p_c[plain[0], plain[1], 0]
+
+
+def test_sounding_validation():
+    with pytest.raises(ValueError):
+        hydrostatic_exner(lambda z: np.full_like(np.asarray(z, float), -5.0), 1000.0)
+    with pytest.raises(ValueError):
+        # isothermal cold atmosphere can't be integrated to absurd height
+        hydrostatic_exner(isentropic_sounding(100.0), 60000.0)

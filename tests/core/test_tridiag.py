@@ -1,0 +1,72 @@
+"""Batched Thomas solver vs. scipy and analytic checks."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tridiag import thomas_solve, thomas_solve_scipy
+
+
+def _dominant_system(rng, shape, n):
+    sub = rng.uniform(-1, 1, size=shape + (n,))
+    sup = rng.uniform(-1, 1, size=shape + (n,))
+    diag = 2.5 + np.abs(sub) + np.abs(sup) + rng.uniform(0, 1, size=shape + (n,))
+    rhs = rng.normal(size=shape + (n,))
+    return sub, diag, sup, rhs
+
+
+def test_matches_scipy():
+    rng = np.random.default_rng(0)
+    sub, diag, sup, rhs = _dominant_system(rng, (4, 3), 12)
+    x = thomas_solve(sub, diag, sup, rhs)
+    x_ref = thomas_solve_scipy(sub, diag, sup, rhs)
+    np.testing.assert_allclose(x, x_ref, rtol=1e-12, atol=1e-12)
+
+
+def test_identity():
+    rhs = np.random.default_rng(1).normal(size=(5, 7))
+    x = thomas_solve(np.zeros_like(rhs), np.ones_like(rhs), np.zeros_like(rhs), rhs)
+    np.testing.assert_allclose(x, rhs)
+
+
+def test_residual_zero():
+    rng = np.random.default_rng(2)
+    sub, diag, sup, rhs = _dominant_system(rng, (6,), 20)
+    x = thomas_solve(sub, diag, sup, rhs)
+    resid = diag * x
+    resid[..., 1:] += sub[..., 1:] * x[..., :-1]
+    resid[..., :-1] += sup[..., :-1] * x[..., 1:]
+    np.testing.assert_allclose(resid, rhs, rtol=1e-10, atol=1e-10)
+
+
+def test_known_solution_poisson():
+    """-x_{k-1} + 2 x_k - x_{k+1} = h^2 f with Dirichlet zeros: compare to
+    the analytic solution of u'' = -1 -> u = x(1-x)/2."""
+    n = 101
+    h = 1.0 / (n + 1)
+    sub = -np.ones(n)
+    sup = -np.ones(n)
+    diag = 2.0 * np.ones(n)
+    rhs = np.full(n, h * h)
+    x = thomas_solve(sub, diag, sup, rhs)
+    xs = np.linspace(h, 1.0 - h, n)
+    np.testing.assert_allclose(x, xs * (1 - xs) / 2, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 40))
+def test_property_random_dominant(seed, n):
+    rng = np.random.default_rng(seed)
+    sub, diag, sup, rhs = _dominant_system(rng, (3,), n)
+    x = thomas_solve(sub, diag, sup, rhs)
+    x_ref = thomas_solve_scipy(sub, diag, sup, rhs)
+    np.testing.assert_allclose(x, x_ref, rtol=1e-9, atol=1e-9)
+
+
+def test_batch_independence():
+    """Solving a batch equals solving the columns independently."""
+    rng = np.random.default_rng(3)
+    sub, diag, sup, rhs = _dominant_system(rng, (8,), 15)
+    x_all = thomas_solve(sub, diag, sup, rhs)
+    for m in range(8):
+        x1 = thomas_solve(sub[m], diag[m], sup[m], rhs[m])
+        np.testing.assert_allclose(x_all[m], x1)

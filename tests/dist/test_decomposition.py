@@ -1,0 +1,104 @@
+"""Tests of the 2-D decomposition and the Table I mesh law."""
+import numpy as np
+import pytest
+
+from repro.dist.decomposition import (
+    TABLE1_CONFIGS,
+    Subdomain,
+    decompose,
+    make_subgrid,
+    table1_mesh,
+)
+from repro.core.grid import make_grid, bell_mountain
+
+#: (GPUs, mesh) rows exactly as printed in the paper's Table I
+PAPER_TABLE1 = {
+    (2, 3): (636, 760, 48),
+    (4, 5): (1268, 1264, 48),
+    (6, 9): (1900, 2272, 48),
+    (8, 10): (2532, 2524, 48),
+    (10, 12): (3164, 3028, 48),
+    (12, 14): (3796, 3532, 48),
+    (12, 16): (3796, 4036, 48),
+    (14, 18): (4428, 4540, 48),
+    (16, 20): (5060, 5044, 48),
+    (18, 20): (5692, 5044, 48),
+    (18, 22): (5692, 5548, 48),
+    (20, 22): (6324, 5548, 48),
+    (20, 24): (6324, 6052, 48),
+    (22, 24): (6956, 6052, 48),
+}
+
+
+def test_table1_reproduced_exactly():
+    """Every row of the paper's Table I follows from the 320x256 block +
+    4-cell overlap law."""
+    for (px, py), mesh in PAPER_TABLE1.items():
+        assert table1_mesh(px, py) == mesh, (px, py)
+
+
+def test_table1_configs_match_gpu_counts():
+    counts = [px * py for px, py in TABLE1_CONFIGS]
+    assert counts == [6, 20, 54, 80, 120, 168, 192, 252, 320, 360, 396, 440,
+                      480, 528]
+
+
+def test_decompose_covers_domain():
+    subs = decompose(100, 77, 4, 3)
+    assert len(subs) == 12
+    # exact cover, no overlap
+    cover = np.zeros((100, 77), dtype=int)
+    for s in subs:
+        cover[s.x0 : s.x0 + s.nx, s.y0 : s.y0 + s.ny] += 1
+    assert np.all(cover == 1)
+
+
+def test_decompose_balance():
+    subs = decompose(101, 50, 4, 5)
+    sizes = {(s.nx, s.ny) for s in subs}
+    xs = {s.nx for s in subs}
+    assert max(xs) - min(xs) <= 1
+
+
+def test_decompose_validation():
+    with pytest.raises(ValueError):
+        decompose(10, 10, 0, 1)
+    with pytest.raises(ValueError):
+        decompose(8, 8, 4, 1)  # 2 cells per rank < min_cells=3
+
+
+def test_neighbors_periodic_and_open():
+    subs = decompose(30, 30, 3, 2)
+    s = subs[0]  # (cx=0, cy=0)
+    assert s.neighbor(-1, 0, True, True) == 2 * 2  # wraps to cx=2
+    assert s.neighbor(-1, 0, False, True) is None
+    assert s.neighbor(0, -1, True, True) == 1      # wraps to cy=1
+    assert s.neighbor(0, -1, True, False) is None
+    assert s.neighbor(1, 0, False, False) == 2     # rank = cx*py + cy
+
+
+def test_rank_numbering_row_major():
+    subs = decompose(30, 30, 3, 2)
+    for s in subs:
+        assert s.rank == s.cx * 2 + s.cy
+
+
+def test_make_subgrid_slices_geometry():
+    terr = bell_mountain(height=300.0, half_width=3000.0, x0=8000.0)
+    g = make_grid(16, 12, 6, 1000.0, 1000.0, 8000.0, terrain=terr)
+    subs = decompose(16, 12, 2, 2)
+    for sub in subs:
+        loc = make_subgrid(g, sub)
+        assert loc.nx == sub.nx and loc.ny == sub.ny
+        # terrain in the local interior matches the global interior slice
+        h = g.halo
+        np.testing.assert_array_equal(
+            loc.zs[h : h + sub.nx, h : h + sub.ny],
+            g.zs[h + sub.x0 : h + sub.x0 + sub.nx, h + sub.y0 : h + sub.y0 + sub.ny],
+        )
+        # including the halo region (true neighbor geometry, not a copy)
+        np.testing.assert_array_equal(
+            loc.zs, g.zs[sub.x0 : sub.x0 + sub.nx + 2 * h,
+                         sub.y0 : sub.y0 + sub.ny + 2 * h],
+        )
+        assert not loc.periodic_x and not loc.periodic_y

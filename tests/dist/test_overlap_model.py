@@ -1,0 +1,132 @@
+"""Tests of the overlap performance model (Figs. 8, 9, 10, 11)."""
+import pytest
+
+from repro.dist.network import TSUBAME_1_2, TSUBAME_2_0
+from repro.dist.overlap import OverlapConfig, OverlapModel
+from repro.perf.costmodel import asuca_step_cost
+from repro.perf.scaling import weak_scaling_efficiency, weak_scaling_sweep
+
+
+@pytest.fixture(scope="module")
+def model():
+    return OverlapModel()
+
+
+@pytest.fixture(scope="module")
+def tl_overlap(model):
+    return model.step_timeline(True)
+
+
+@pytest.fixture(scope="module")
+def tl_serial(model):
+    return model.step_timeline(False)
+
+
+def test_fig11_anchor_totals(tl_overlap):
+    """Fig. 11 (overlap): total 988 ms, compute 763, MPI 336, GPU-CPU 145."""
+    assert tl_overlap.total == pytest.approx(0.988, rel=0.05)
+    assert tl_overlap.compute == pytest.approx(0.763, rel=0.05)
+    assert tl_overlap.mpi == pytest.approx(0.336, rel=0.10)
+    assert tl_overlap.gpu_cpu == pytest.approx(0.145, rel=0.15)
+
+
+def test_fig11_hidden_fraction(tl_overlap):
+    """~53% of the communication hides under computation."""
+    assert tl_overlap.hidden_fraction == pytest.approx(0.53, abs=0.08)
+
+
+def test_overlap_beats_serial(tl_overlap, tl_serial):
+    """Overlap wins ~11% total time (paper Sec. V-B)."""
+    gain = 1.0 - tl_overlap.total / tl_serial.total
+    assert 0.08 < gain < 0.18
+
+
+def test_divided_kernels_cost_more_compute(tl_overlap, tl_serial):
+    """The paper's Fig. 9/11 observation: dividing kernels *increases*
+    compute time, yet the total still drops."""
+    assert tl_overlap.compute > tl_serial.compute
+    assert tl_overlap.total < tl_serial.total
+
+
+def test_fifteen_tflops_at_528(tl_overlap):
+    c = asuca_step_cost(320, 256, 48)
+    tflops = 528 * c.total_flops / tl_overlap.total / 1e12
+    assert tflops == pytest.approx(15.0, rel=0.07)
+
+
+def test_fig9_breakdown_shape(model):
+    """Fig. 9 relations: inner < whole; boundary kernels are a sizable
+    minority; density's compute cannot hide its own communication (the
+    motivation for method 3)."""
+    rows = {vb.name: vb for vb in model.breakdown_rows()}
+    for vb in rows.values():
+        assert vb.inner < vb.whole
+        assert 0.05 * vb.inner < vb.boundary_x < vb.inner
+        assert 0.05 * vb.inner < vb.boundary_y < vb.inner
+        assert vb.divided_compute > vb.whole  # reduced parallelism costs
+    density = rows["Density"]
+    assert density.communication > density.inner
+
+
+def test_method_ablation():
+    """Disabling each optimization hurts (or at least never helps)."""
+    full = OverlapModel().step_timeline(True).total
+    no1 = OverlapModel(config=OverlapConfig(method1_pipeline=False)).step_timeline(True).total
+    no2 = OverlapModel(config=OverlapConfig(method2_divide=False)).step_timeline(True).total
+    no3 = OverlapModel(config=OverlapConfig(method3_fuse=False)).step_timeline(True).total
+    assert no1 >= full - 1e-12
+    assert no2 > full          # method 2 is the big one
+    assert no3 >= full - 1e-12
+
+
+def test_tsubame2_hides_communication():
+    """Sec. VII: with >= 4x bandwidth the communication hides (almost)
+    completely."""
+    m1 = OverlapModel(TSUBAME_1_2)
+    m2 = OverlapModel(TSUBAME_2_0)
+    t1 = m1.step_timeline(True)
+    t2 = m2.step_timeline(True)
+    assert t2.hidden_fraction_comm_only > 0.9
+    assert t2.hidden_fraction_comm_only > t1.hidden_fraction_comm_only
+
+
+def test_weak_scaling_efficiency_band():
+    pts = weak_scaling_sweep()
+    eff = weak_scaling_efficiency(pts)
+    assert 0.90 < eff <= 1.0      # paper: >= 93%
+    assert pts[-1].tflops_overlap == pytest.approx(15.0, rel=0.07)
+    # monotone TFlops growth along Table I
+    tf = [p.tflops_overlap for p in pts]
+    assert all(b > a for a, b in zip(tf, tf[1:]))
+    # GPU crushes the CPU line everywhere (the figure's point)
+    assert all(p.tflops_overlap > 20 * p.tflops_cpu for p in pts)
+
+
+def test_fewer_links_less_communication():
+    interior = OverlapModel(links_x=2, links_y=2).step_timeline(True)
+    corner = OverlapModel(links_x=1, links_y=1).step_timeline(True)
+    assert corner.mpi < interior.mpi
+    assert corner.total <= interior.total
+
+
+def test_projection_sec7():
+    from repro.perf.projection import model_projection, paper_formula_projection
+
+    pp = paper_formula_projection()
+    assert pp.tflops == pytest.approx(150.0, rel=0.07)
+    mp_cons = model_projection(fermi_throughput=False)
+    mp_real = model_projection(fermi_throughput=True)
+    # "the actual overall performance ... will likely be higher"
+    assert mp_real.tflops > mp_cons.tflops
+    assert mp_real.tflops > 100.0
+
+
+def test_pcie_node_sharing_penalty():
+    """Modeling two GPUs contending for the host link slows the staging
+    and the total step (the reason TSUBAME 2.0 moved to wider PCIe)."""
+    base = OverlapModel(config=OverlapConfig()).step_timeline(True)
+    shared = OverlapModel(
+        config=OverlapConfig(pcie_sharing=True)
+    ).step_timeline(True)
+    assert shared.gpu_cpu > 1.5 * base.gpu_cpu
+    assert shared.total >= base.total

@@ -1,0 +1,120 @@
+"""Tests of the virtual device: streams, engines, events, scheduling."""
+import pytest
+
+from repro.gpu.device import Event, GPUDevice
+from repro.gpu.spec import TESLA_S1070
+
+
+@pytest.fixture
+def dev():
+    return GPUDevice(TESLA_S1070)
+
+
+def test_stream_in_order(dev):
+    s = dev.create_stream()
+    op1 = dev.schedule("a", "kernel", s, 1.0)
+    op2 = dev.schedule("b", "kernel", s, 2.0)
+    assert op1.start == 0.0 and op1.end == 1.0
+    assert op2.start == 1.0 and op2.end == 3.0
+    assert dev.elapsed() == 3.0
+
+
+def test_kernels_serialize_across_streams(dev):
+    """GT200 runs one kernel at a time: kernels on different streams share
+    the compute engine."""
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("k1", "kernel", s1, 1.0)
+    op2 = dev.schedule("k2", "kernel", s2, 1.0)
+    assert op2.start == 1.0  # waited for the compute engine
+
+
+def test_copy_overlaps_kernel(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("k", "kernel", s1, 2.0)
+    cp = dev.schedule("c", "h2d", s2, 1.0)
+    assert cp.start == 0.0  # different engine: concurrent
+    assert dev.elapsed() == 2.0
+
+
+def test_single_copy_engine_serializes_h2d_d2h(dev):
+    """The S1070 has one DMA engine: opposite-direction copies queue."""
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("up", "h2d", s1, 1.0)
+    dn = dev.schedule("down", "d2h", s2, 1.0)
+    assert dn.start == 1.0
+
+
+def test_dual_copy_engines():
+    dev = GPUDevice(TESLA_S1070, copy_engines=2)
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("up", "h2d", s1, 1.0)
+    dn = dev.schedule("down", "d2h", s2, 1.0)
+    assert dn.start == 0.0
+
+
+def test_mpi_engine_independent(dev):
+    s = dev.create_stream()
+    dev.schedule("k", "kernel", s, 2.0)
+    s2 = dev.create_stream()
+    m = dev.schedule("net", "mpi", s2, 1.5)
+    assert m.start == 0.0
+
+
+def test_events_create_dependencies(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    op = dev.schedule("c1", "h2d", s1, 2.0)
+    ev = s1.record_event()
+    s2.wait_event(ev)
+    nxt = dev.schedule("c2", "mpi", s2, 1.0)
+    assert nxt.start == 2.0
+    assert ev.time == op.end
+
+
+def test_after_dependencies(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    op = dev.schedule("a", "h2d", s1, 3.0)
+    dep = dev.schedule("b", "mpi", s2, 1.0, after=(Event(op.end),))
+    assert dep.start == 3.0
+
+
+def test_synchronize_aligns_everything(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("a", "kernel", s1, 1.0)
+    dev.schedule("b", "h2d", s2, 5.0)
+    t = dev.synchronize()
+    assert t == 5.0
+    nxt = dev.schedule("c", "kernel", s1, 1.0)
+    assert nxt.start == 5.0
+
+
+def test_busy_time_filters(dev):
+    s = dev.create_stream()
+    dev.schedule("a", "kernel", s, 1.0, tag="compute")
+    dev.schedule("b", "mpi", s, 2.0, tag="mpi")
+    dev.schedule("c", "mpi", s, 0.5, tag="skew")
+    assert dev.busy_time("kernel") == 1.0
+    assert dev.busy_time("mpi") == 2.5
+    assert dev.busy_time("mpi", tag="skew") == 0.5
+    assert dev.busy_time(tag="compute") == 1.0
+
+
+def test_flops_accounting(dev):
+    s = dev.create_stream()
+    dev.schedule("a", "kernel", s, 1.0, flops=5e9)
+    dev.schedule("b", "kernel", s, 1.0, flops=5e9)
+    assert dev.total_flops() == 1e10
+    assert dev.sustained_flops() == pytest.approx(5e9)
+
+
+def test_reset(dev):
+    s = dev.create_stream()
+    dev.schedule("a", "kernel", s, 1.0)
+    dev.reset()
+    assert dev.elapsed() == 0.0
+    op = dev.schedule("b", "kernel", s, 1.0)
+    assert op.start == 0.0
+
+
+def test_negative_duration_rejected(dev):
+    with pytest.raises(ValueError):
+        dev.schedule("bad", "kernel", dev.default_stream, -1.0)

@@ -1,0 +1,66 @@
+"""Tests of the GT200/Fermi occupancy calculator, including the paper's
+own launch configuration."""
+import pytest
+
+from repro.gpu.occupancy import (
+    FERMI_LIMITS,
+    GT200_LIMITS,
+    Occupancy,
+    occupancy,
+)
+from repro.gpu.sharedmem import ASUCA_ADVECTION_TILE
+
+
+def test_paper_advection_block_is_well_occupied():
+    """(64, 4, 1) = 256 threads with the (64+3)x(4+3) SP tile: 4 resident
+    blocks on GT200 -> 100% thread-limited occupancy, comfortably hiding
+    the 400-600 cycle memory latency the paper cites."""
+    occ = occupancy(
+        64 * 4,
+        registers_per_thread=16,
+        shared_per_block=ASUCA_ADVECTION_TILE.shared_bytes(4),
+        limits=GT200_LIMITS,
+    )
+    assert occ.blocks_per_sm == 4
+    assert occ.occupancy == pytest.approx(1.0)
+    assert occ.latency_hiding_ok
+
+
+def test_shared_memory_can_become_the_limiter():
+    """A 6 KB/block tile allows only 2 blocks in 16 KB-granularity terms."""
+    occ = occupancy(128, shared_per_block=6 * 1024, registers_per_thread=10)
+    assert occ.limiter == "shared memory"
+    assert occ.blocks_per_sm == 2
+
+
+def test_register_pressure_limits():
+    occ = occupancy(256, registers_per_thread=60)
+    assert occ.limiter == "registers"
+    assert occ.blocks_per_sm == 1
+    assert not occ.latency_hiding_ok
+
+
+def test_block_cap():
+    occ = occupancy(32, registers_per_thread=8, shared_per_block=0)
+    assert occ.limiter == "block limit"
+    assert occ.blocks_per_sm == 8
+    assert occ.occupancy == pytest.approx(8 / 32)
+
+
+def test_zero_blocks_possible():
+    occ = occupancy(512, shared_per_block=17 * 1024)
+    assert occ.blocks_per_sm == 0 and occ.occupancy == 0.0
+
+
+def test_fermi_more_generous():
+    o_gt = occupancy(256, registers_per_thread=32, limits=GT200_LIMITS)
+    o_fermi = occupancy(256, registers_per_thread=32, limits=FERMI_LIMITS)
+    assert o_fermi.blocks_per_sm >= o_gt.blocks_per_sm
+    assert o_fermi.warps_per_sm > o_gt.warps_per_sm
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        occupancy(0)
+    with pytest.raises(ValueError):
+        occupancy(2048, limits=GT200_LIMITS)

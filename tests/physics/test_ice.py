@@ -1,0 +1,192 @@
+"""Tests of the cold-rain (ice phase) extension."""
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.core.grid import make_grid
+from repro.core.pressure import eos_pressure, exner
+from repro.core.reference import make_reference_state
+from repro.core.state import state_from_reference
+from repro.physics.ice import (
+    IceConfig,
+    T_HOMOGENEOUS,
+    cold_rain_step,
+    ice_saturation_mixing_ratio,
+    snow_terminal_velocity,
+)
+from repro.physics.saturation import saturation_mixing_ratio
+from repro.physics.sedimentation import terminal_velocity
+from repro.workloads.sounding import tropospheric_sounding
+
+
+@pytest.fixture
+def setup():
+    """Deep grid reaching well below freezing aloft."""
+    g = make_grid(6, 6, 16, 1000.0, 1000.0, 14000.0)
+    ref = make_reference_state(g, tropospheric_sounding())
+    st = state_from_reference(g, ref)
+    return g, ref, st
+
+
+def _temps(st, g):
+    sx, sy = g.isl
+    p = eos_pressure(st.rhotheta, g)[sx, sy]
+    return (st.rhotheta[sx, sy] / st.rho[sx, sy]) * exner(p), p
+
+
+def test_atmosphere_crosses_freezing(setup):
+    g, ref, st = setup
+    T, _ = _temps(st, g)
+    assert T[..., 0].min() > c.T0          # warm at the ground
+    assert T[..., -1].max() < c.T0         # frozen aloft
+
+
+def test_ice_saturation_below_liquid():
+    """q_si < q_s below freezing (the Bergeron basis)."""
+    p = np.full(30, 5.0e4)
+    T = np.linspace(230.0, 272.0, 30)
+    assert np.all(ice_saturation_mixing_ratio(p, T) < saturation_mixing_ratio(p, T))
+
+
+def test_snow_falls_slower_than_rain():
+    rho_q = np.array([1e-4, 1e-3])
+    rho = np.array([1.0, 1.0])
+    assert np.all(snow_terminal_velocity(rho_q, rho) < terminal_velocity(rho_q, rho))
+    assert np.all(snow_terminal_velocity(rho_q, rho) < 3.0)
+
+
+def test_supercooled_cloud_freezes(setup):
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    st.q["qc"][...] = 1e-3 * st.rho
+    # ice-saturated vapor so sublimation does not eat the frozen cloud
+    p_full = eos_pressure(st.rhotheta, g)
+    T_full = (st.rhotheta / st.rho) * exner(p_full)
+    st.q["qv"][...] = ice_saturation_mixing_ratio(p_full, T_full) * st.rho
+    T_before, _ = _temps(st, g)
+    cold_rain_step(st, ref, 60.0, cfg)
+    sx, sy = g.isl
+    qi = (st.q["qi"] / st.rho)[sx, sy]
+    qc = (st.q["qc"] / st.rho)[sx, sy]
+    cold = T_before < c.T0
+    very_cold = T_before <= T_HOMOGENEOUS
+    assert np.all(qi[cold] > 0)            # ice formed where supercooled
+    assert np.all(qc[very_cold] < 1e-12)   # instantaneous below -38 C
+    warm = T_before > c.T0 + 2.0
+    assert np.all(qi[warm] == 0.0)         # no ice in warm air
+    # freezing released latent heat
+    T_after, _ = _temps(st, g)
+    assert np.all(T_after[cold] >= T_before[cold])
+
+
+def test_deposition_grows_ice_from_vapor(setup):
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    T, p = _temps(st, g)
+    qsi_full = ice_saturation_mixing_ratio(eos_pressure(st.rhotheta, g),
+                                           (st.rhotheta / st.rho) * exner(eos_pressure(st.rhotheta, g)))
+    st.q["qv"][...] = 1.3 * qsi_full * st.rho
+    cold_rain_step(st, ref, 120.0, cfg)
+    sx, sy = g.isl
+    qi = (st.q["qi"] / st.rho)[sx, sy]
+    cold = T < c.T0
+    assert np.all(qi[cold] > 0)
+
+
+def test_sublimation_limited_by_ice(setup):
+    """Bone-dry air cannot sublimate more ice than exists."""
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    st.q["qi"][...] = 1e-5 * st.rho
+    cold_rain_step(st, ref, 3600.0, cfg)
+    assert np.all(g.interior(st.q["qi"]) >= 0.0)
+    assert np.all(g.interior(st.q["qv"]) >= 0.0)
+
+
+def test_autoconversion_and_riming_build_snow(setup):
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    st.q["qi"][...] = 2e-3 * st.rho
+    st.q["qc"][...] = 1e-3 * st.rho
+    cold_rain_step(st, ref, 60.0, cfg)
+    sx, sy = g.isl
+    T, _ = _temps(st, g)
+    qs = (st.q["qs"] / st.rho)[sx, sy]
+    assert np.all(qs[T < c.T0 - 1.0] > 0)
+
+
+def test_snow_melts_to_rain(setup):
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    # put snow everywhere; only the warm low levels should melt
+    st.q["qs"][...] = 1e-3 * st.rho
+    T_before, _ = _temps(st, g)
+    qr_before = (st.q["qr"] / st.rho).copy()
+    cold_rain_step(st, ref, 120.0, cfg)
+    sx, sy = g.isl
+    qr = (st.q["qr"] / st.rho)[sx, sy]
+    warm = T_before >= c.T0
+    assert np.all(qr[warm] > g.interior(qr_before)[warm])
+    # melting cools
+    T_after, _ = _temps(st, g)
+    assert np.all(T_after[warm] <= T_before[warm] + 1e-12)
+
+
+def test_water_conservation_without_sedimentation(setup):
+    g, ref, st = setup
+    cfg = IceConfig(sedimentation=False)
+    r = np.random.default_rng(0)
+    for name in ("qv", "qc", "qr", "qi", "qs"):
+        st.q[name][...] = np.abs(r.normal(1e-3, 5e-4, size=g.shape_c)) * st.rho
+    total_before = sum(
+        st.q[n][g.isl].copy() for n in ("qv", "qc", "qr", "qi", "qs")
+    )
+    cold_rain_step(st, ref, 30.0, cfg)
+    total_after = sum(st.q[n][g.isl] for n in ("qv", "qc", "qr", "qi", "qs"))
+    np.testing.assert_allclose(total_after, total_before, rtol=1e-9, atol=1e-12)
+
+
+def test_snowfall_reaches_ground_and_accumulates(setup):
+    g, ref, st = setup
+    cfg = IceConfig()
+    st.q["qs"][:, :, 2] = 5e-3 * st.rho[:, :, 2]   # snow layer near ground
+    total = 0.0
+    for _ in range(50):
+        snow = cold_rain_step(st, ref, 30.0, cfg)
+        total += float(snow.sum()) * 30.0
+    assert total > 0.0
+    assert st.precip_accum is not None
+    assert float(st.precip_accum.sum()) == pytest.approx(total, rel=1e-9)
+
+
+def test_full_model_with_ice_runs():
+    """End to end: a cold deep-convection case with the ice path enabled
+    stays stable and produces frozen condensate aloft."""
+    from repro.core.model import AsucaModel, ModelConfig
+    from repro.core.rk3 import DynamicsConfig
+
+    g = make_grid(10, 10, 16, 1000.0, 1000.0, 14000.0)
+    ref = make_reference_state(g, tropospheric_sounding())
+    cfg = ModelConfig(
+        dynamics=DynamicsConfig(dt=4.0, ns=4, rayleigh_depth=3000.0),
+        physics_enabled=True, ice_enabled=True,
+    )
+    m = AsucaModel(g, ref, cfg)
+    st = m.initial_state()
+    z3 = g.z3d_c()
+    X = g.x_c()[:, None, None]
+    Y = g.y_c()[None, :, None]
+    bubble = np.maximum(0.0, 1.0 - np.sqrt(
+        ((X - 5000.0) / 2500.0) ** 2 + ((Y - 5000.0) / 2500.0) ** 2
+        + ((z3 - 2000.0) / 1500.0) ** 2))
+    st.rhotheta += st.rho * 5.0 * bubble
+    p = eos_pressure(st.rhotheta, g)
+    T = (st.rhotheta / st.rho) * exner(p)
+    st.q["qv"][...] = 0.95 * saturation_mixing_ratio(p, T) * st.rho
+    m._exchange(st, None)
+    for _ in range(40):
+        st = m.step(st)
+    d = m.diagnostics(st)
+    assert np.isfinite(d.max_w) and d.max_w < 40.0
+    frozen = float((st.q["qi"] + st.q["qs"]).max())
+    assert frozen > 0.0

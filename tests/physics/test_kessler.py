@@ -1,0 +1,173 @@
+"""Tests of the Kessler warm-rain microphysics."""
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.core.grid import make_grid
+from repro.core.pressure import eos_pressure, exner
+from repro.core.reference import make_reference_state
+from repro.core.state import state_from_reference
+from repro.physics.kessler import KesslerConfig, kessler_step
+from repro.physics.saturation import (
+    dqs_dT,
+    saturation_mixing_ratio,
+    saturation_vapor_pressure,
+)
+from repro.workloads.sounding import tropospheric_sounding
+
+
+@pytest.fixture
+def setup():
+    g = make_grid(8, 6, 10, 1000.0, 1000.0, 10000.0)
+    ref = make_reference_state(g, tropospheric_sounding())
+    st = state_from_reference(g, ref)
+    return g, ref, st
+
+
+def _mixing(st, name):
+    return st.q[name] / st.rho
+
+
+# ------------------------------------------------------------- saturation
+def test_saturation_vapor_pressure_anchor():
+    # ~611 Pa at 0C, ~2.3 kPa at 20C (standard values)
+    assert saturation_vapor_pressure(273.16) == pytest.approx(610.78, rel=1e-6)
+    assert saturation_vapor_pressure(293.15) == pytest.approx(2339.0, rel=0.02)
+
+
+def test_saturation_mixing_ratio_monotone_in_T():
+    p = np.full(50, 9.0e4)
+    T = np.linspace(250.0, 310.0, 50)
+    qs = saturation_mixing_ratio(p, T)
+    assert np.all(np.diff(qs) > 0)
+
+
+def test_dqs_dT_matches_numeric():
+    p = np.full(20, 8.5e4)
+    T = np.linspace(255.0, 305.0, 20)
+    dT = 1e-3
+    numeric = (saturation_mixing_ratio(p, T + dT) - saturation_mixing_ratio(p, T - dT)) / (2 * dT)
+    np.testing.assert_allclose(dqs_dT(p, T), numeric, rtol=1e-5)
+
+
+# ----------------------------------------------------------------- kessler
+def test_dry_state_unchanged(setup):
+    g, ref, st = setup
+    before = st.rhotheta.copy()
+    precip = kessler_step(st, ref, 5.0)
+    np.testing.assert_array_equal(st.rhotheta, before)
+    assert np.all(precip == 0.0)
+
+
+def test_supersaturation_condenses_and_heats(setup):
+    g, ref, st = setup
+    sx, sy = g.isl
+    p = eos_pressure(st.rhotheta, g)
+    T = (st.rhotheta / st.rho) * exner(p)
+    qvs = saturation_mixing_ratio(p, T)
+    st.q["qv"][...] = 1.2 * qvs * st.rho  # 120% RH everywhere
+    th_before = (st.rhotheta / st.rho).copy()
+    kessler_step(st, ref, 5.0)
+    qv = _mixing(st, "qv")
+    qc = _mixing(st, "qc")
+    assert np.all(g.interior(qc) > 0)  # cloud formed
+    # vapor reduced toward (new, warmer) saturation
+    assert np.all(g.interior(qv) < 1.2 * g.interior(qvs) + 1e-12)
+    # latent heating warmed theta
+    assert np.all(g.interior(st.rhotheta / st.rho) > g.interior(th_before))
+
+
+def test_water_conservation_no_sedimentation(setup):
+    """qv + qc + qr is pointwise conserved by the conversion terms."""
+    g, ref, st = setup
+    r = np.random.default_rng(0)
+    p = eos_pressure(st.rhotheta, g)
+    T = (st.rhotheta / st.rho) * exner(p)
+    qvs = saturation_mixing_ratio(p, T)
+    st.q["qv"][...] = r.uniform(0.5, 1.3, size=g.shape_c) * qvs * st.rho
+    st.q["qc"][...] = r.uniform(0.0, 2e-3, size=g.shape_c) * st.rho
+    st.q["qr"][...] = r.uniform(0.0, 2e-3, size=g.shape_c) * st.rho
+    total_before = (st.q["qv"] + st.q["qc"] + st.q["qr"])[g.isl].copy()
+    cfg = KesslerConfig(sedimentation=False)
+    kessler_step(st, ref, 5.0, cfg)
+    total_after = (st.q["qv"] + st.q["qc"] + st.q["qr"])[g.isl]
+    np.testing.assert_allclose(total_after, total_before, rtol=1e-9, atol=1e-12)
+
+
+def test_autoconversion_threshold(setup):
+    g, ref, st = setup
+    cfg = KesslerConfig(evaporation=False, saturation_adjust=False,
+                        sedimentation=False)
+    # below threshold: nothing happens
+    st.q["qc"][...] = 0.5e-3 * st.rho
+    kessler_step(st, ref, 5.0, cfg)
+    assert np.all(g.interior(_mixing(st, "qr")) == 0.0)
+    # above threshold: rain appears
+    st.q["qc"][...] = 3e-3 * st.rho
+    kessler_step(st, ref, 5.0, cfg)
+    assert np.all(g.interior(_mixing(st, "qr")) > 0.0)
+
+
+def test_accretion_grows_rain(setup):
+    g, ref, st = setup
+    cfg = KesslerConfig(evaporation=False, saturation_adjust=False,
+                        sedimentation=False, autoconv_rate=0.0)
+    st.q["qc"][...] = 0.8e-3 * st.rho  # below autoconversion threshold
+    st.q["qr"][...] = 1e-3 * st.rho
+    qr_before = _mixing(st, "qr").copy()
+    kessler_step(st, ref, 5.0, cfg)
+    assert np.all(g.interior(_mixing(st, "qr")) > g.interior(qr_before))
+
+
+def test_rain_evaporation_cools(setup):
+    g, ref, st = setup
+    cfg = KesslerConfig(saturation_adjust=False, sedimentation=False)
+    st.q["qr"][...] = 1e-3 * st.rho  # rain in bone-dry air
+    th_before = (st.rhotheta / st.rho).copy()
+    kessler_step(st, ref, 5.0, cfg)
+    assert np.all(g.interior(_mixing(st, "qv")) > 0)       # vapor appeared
+    assert np.all(g.interior(st.rhotheta / st.rho) < g.interior(th_before))
+
+
+def test_no_negative_water(setup):
+    g, ref, st = setup
+    r = np.random.default_rng(1)
+    st.q["qv"][...] = np.abs(r.normal(2e-3, 2e-3, size=g.shape_c)) * st.rho
+    st.q["qc"][...] = np.abs(r.normal(1e-3, 1e-3, size=g.shape_c)) * st.rho
+    st.q["qr"][...] = np.abs(r.normal(1e-3, 1e-3, size=g.shape_c)) * st.rho
+    for _ in range(5):
+        kessler_step(st, ref, 10.0)
+    for name in ("qv", "qc", "qr"):
+        assert np.all(g.interior(st.q[name]) >= 0.0), name
+
+
+def test_sedimentation_rains_out(setup):
+    """A rain layer aloft falls and reaches the ground; total water mass =
+    remaining + precipitated."""
+    g, ref, st = setup
+    cfg = KesslerConfig(evaporation=False, saturation_adjust=False)
+    st.q["qr"][:, :, 6] = 2e-3 * st.rho[:, :, 6]
+    mass_before = st.total_water_mass()
+    total_precip = 0.0
+    for _ in range(60):
+        precip = kessler_step(st, ref, 10.0, cfg)
+        total_precip += float(precip.sum()) * 10.0 * g.dx * g.dy
+    mass_after = st.total_water_mass()
+    assert total_precip > 0.0
+    assert mass_after + total_precip == pytest.approx(mass_before, rel=1e-9)
+    # accumulated diagnostic matches
+    assert st.precip_accum is not None
+    assert float(st.precip_accum.sum()) * g.dx * g.dy == pytest.approx(
+        total_precip, rel=1e-12
+    )
+
+
+def test_sedimentation_mass_sink_on_rho(setup):
+    """Rain-out removes total air-parcel mass (the paper's F_rho term)."""
+    g, ref, st = setup
+    cfg = KesslerConfig(evaporation=False, saturation_adjust=False)
+    st.q["qr"][:, :, 2] = 5e-3 * st.rho[:, :, 2]
+    rho_mass0 = st.total_mass()
+    for _ in range(30):
+        kessler_step(st, ref, 10.0, cfg)
+    assert st.total_mass() < rho_mass0

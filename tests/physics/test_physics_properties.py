@@ -1,0 +1,89 @@
+"""Property-based tests of the microphysics (warm + cold) over random
+thermodynamic states: positivity, conservation, and degenerate-input
+robustness."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grid import make_grid
+from repro.core.reference import make_reference_state
+from repro.core.state import state_from_reference
+from repro.physics.ice import IceConfig, cold_rain_step
+from repro.physics.kessler import KesslerConfig, kessler_step
+from repro.workloads.sounding import tropospheric_sounding
+
+_GRID = make_grid(5, 5, 10, 1000.0, 1000.0, 12000.0)
+_REF = make_reference_state(_GRID, tropospheric_sounding())
+
+
+def _random_state(seed: int, moisture_scale: float):
+    st_ = state_from_reference(_GRID, _REF)
+    r = np.random.default_rng(seed)
+    st_.rhotheta *= 1.0 + 0.02 * r.uniform(-1, 1, size=_GRID.shape_c)
+    for name in ("qv", "qc", "qr", "qi", "qs"):
+        st_.q[name][...] = (
+            np.abs(r.normal(0.0, moisture_scale, size=_GRID.shape_c)) * st_.rho
+        )
+    return st_
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       scale=st.floats(1e-6, 5e-3),
+       dt=st.floats(1.0, 30.0))
+def test_warm_rain_positivity_and_budget(seed, scale, dt):
+    state = _random_state(seed, scale)
+    g = _GRID
+    w0 = state.total_water_mass()
+    precip = kessler_step(state, _REF, dt, KesslerConfig())
+    rained = float(precip.sum()) * dt * g.dx * g.dy
+    for name in ("qv", "qc", "qr"):
+        assert np.all(g.interior(state.q[name]) >= 0.0), name
+    assert rained >= 0.0
+    assert state.total_water_mass() + rained == pytest.approx(w0, rel=1e-6)
+    # theta stays physical
+    theta = g.interior(state.rhotheta / state.rho)
+    assert np.all(theta > 200.0) and np.all(theta < 600.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       scale=st.floats(1e-6, 5e-3),
+       dt=st.floats(1.0, 30.0))
+def test_cold_rain_positivity_and_budget(seed, scale, dt):
+    state = _random_state(seed, scale)
+    g = _GRID
+    w0 = state.total_water_mass()
+    snow = cold_rain_step(state, _REF, dt, IceConfig())
+    snowed = float(snow.sum()) * dt * g.dx * g.dy
+    for name in ("qv", "qc", "qr", "qi", "qs"):
+        assert np.all(g.interior(state.q[name]) >= 0.0), name
+    assert snowed >= 0.0
+    assert state.total_water_mass() + snowed == pytest.approx(w0, rel=1e-6)
+
+
+def test_dry_state_fixed_point():
+    """Completely dry air is a fixed point of both schemes."""
+    state = state_from_reference(_GRID, _REF)
+    before = state.rhotheta.copy()
+    kessler_step(state, _REF, 10.0)
+    cold_rain_step(state, _REF, 10.0)
+    np.testing.assert_array_equal(state.rhotheta, before)
+    for name in ("qv", "qc", "qr", "qi", "qs"):
+        assert np.all(state.q[name] == 0.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_repeated_application_converges(seed):
+    """Iterating the warm scheme on a static state drives it toward a
+    saturated/rained-out equilibrium: the per-step tendency shrinks."""
+    state = _random_state(seed, 2e-3)
+    g = _GRID
+    deltas = []
+    prev = state.rhotheta.copy()
+    for _ in range(6):
+        kessler_step(state, _REF, 20.0, KesslerConfig(sedimentation=False))
+        deltas.append(float(np.abs(state.rhotheta - prev).max()))
+        prev = state.rhotheta.copy()
+    assert deltas[-1] < deltas[0] + 1e-12

@@ -1,0 +1,98 @@
+"""Tests of the surface heating / Newtonian cooling forcings."""
+import numpy as np
+import pytest
+
+from repro.core.grid import make_grid
+from repro.core.model import AsucaModel, ModelConfig
+from repro.core.reference import make_reference_state
+from repro.core.rk3 import DynamicsConfig
+from repro.core.state import state_from_reference
+from repro.physics.surface import (
+    SurfaceConfig,
+    apply_newtonian_cooling,
+    apply_surface_heating,
+    diurnal_cycle_flux,
+)
+from repro.workloads.sounding import constant_stability_sounding, isentropic_sounding
+
+
+@pytest.fixture
+def setup():
+    g = make_grid(10, 10, 10, 1000.0, 1000.0, 5000.0)
+    ref = make_reference_state(g, constant_stability_sounding())
+    return g, ref, state_from_reference(g, ref)
+
+
+def test_heating_warms_surface_level_only(setup):
+    g, ref, st = setup
+    th_before = (st.rhotheta / st.rho).copy()
+    apply_surface_heating(st, ref, dt=60.0, flux_wm2=300.0)
+    th = st.rhotheta / st.rho
+    sx, sy = g.isl
+    assert np.all(th[sx, sy, 0] > th_before[sx, sy, 0])
+    np.testing.assert_array_equal(th[sx, sy, 1:], th_before[sx, sy, 1:])
+    # magnitude: dT ~ H dt / (rho cp dz) ~ 300*60/(1.2*1004*500) ~ 0.03 K
+    dth = float((th - th_before)[sx, sy, 0].mean())
+    assert 0.01 < dth < 0.1
+
+
+def test_heating_conserves_mass(setup):
+    g, ref, st = setup
+    m0 = st.total_mass()
+    apply_surface_heating(st, ref, dt=60.0, flux_wm2=500.0)
+    assert st.total_mass() == m0
+
+
+def test_zero_flux_noop(setup):
+    g, ref, st = setup
+    before = st.rhotheta.copy()
+    apply_surface_heating(st, ref, dt=60.0, flux_wm2=0.0)
+    np.testing.assert_array_equal(st.rhotheta, before)
+
+
+def test_newtonian_cooling_relaxes_perturbation(setup):
+    g, ref, st = setup
+    sx, sy = g.isl
+    st.rhotheta[sx, sy] += st.rho[sx, sy] * 2.0
+    apply_newtonian_cooling(st, ref, dt=600.0, tau=600.0)
+    pert = (st.rhotheta - ref.rhotheta_c * g.jac[:, :, None])[sx, sy]
+    th_pert = pert / st.rho[sx, sy]
+    # implicit relaxation over one tau: factor 1/(1+1) = half
+    np.testing.assert_allclose(th_pert, 1.0, rtol=1e-9)
+    apply_newtonian_cooling(st, ref, dt=0.0, tau=0.0)  # off: no change
+    np.testing.assert_allclose(
+        (st.rhotheta - ref.rhotheta_c * g.jac[:, :, None])[sx, sy]
+        / st.rho[sx, sy], 1.0, rtol=1e-9)
+
+
+def test_diurnal_cycle():
+    assert diurnal_cycle_flux(400.0, 0.0) == 0.0
+    assert diurnal_cycle_flux(400.0, 21600.0) == pytest.approx(400.0)  # noon
+    assert diurnal_cycle_flux(400.0, 64800.0) == 0.0                   # night
+    assert diurnal_cycle_flux(400.0, 10000.0) > 0.0
+
+
+def test_heated_boundary_layer_convects():
+    """Strong steady surface heating on a resting atmosphere spins up
+    boundary-layer convection within ~10 minutes."""
+    g = make_grid(16, 16, 12, 500.0, 500.0, 3000.0)
+    ref = make_reference_state(g, isentropic_sounding(300.0))  # neutral BL
+    cfg = ModelConfig(
+        dynamics=DynamicsConfig(dt=3.0, ns=4, rayleigh_depth=800.0),
+        surface=SurfaceConfig(heat_flux=500.0, radiation_tau=7200.0),
+    )
+    m = AsucaModel(g, ref, cfg)
+    st = m.initial_state()
+    # tiny random seed so the instability has something to amplify
+    r = np.random.default_rng(0)
+    st.rhotheta += st.rho * 0.01 * r.normal(size=g.shape_c)
+    m._exchange(st, None)
+    for _ in range(150):
+        st = m.step(st)
+    d = m.diagnostics(st)
+    assert d.max_w > 0.15           # thermals
+    assert d.max_w < 20.0           # but bounded
+    # surface level warmed relative to the base state
+    sx, sy = g.isl
+    pert = (st.rhotheta / st.rho - ref.theta_c)[sx, sy]
+    assert float(pert[:, :, 0].mean()) > 0.3

@@ -1,0 +1,132 @@
+"""Tests of the three paper workloads (mountain wave, warm bubble,
+synthetic real case) and the soundings."""
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.workloads.mountain_wave import linear_wave_w_scale, make_mountain_wave_case
+from repro.workloads.real_case import make_real_case
+from repro.workloads.sounding import (
+    constant_stability_sounding,
+    isentropic_sounding,
+    isothermal_sounding,
+    tropospheric_sounding,
+)
+from repro.workloads.warm_bubble import make_warm_bubble_case
+
+
+# ---------------------------------------------------------------- soundings
+def test_constant_stability_brunt_vaisala():
+    """N^2 = (g / theta) d(theta)/dz must equal the requested value."""
+    n_bv = 0.012
+    th = constant_stability_sounding(290.0, n_bv)
+    z = np.linspace(0.0, 10000.0, 101)
+    theta = th(z)
+    dthdz = np.gradient(theta, z)
+    n2 = c.G / theta * dthdz
+    np.testing.assert_allclose(n2, n_bv ** 2, rtol=1e-3)
+
+
+def test_isothermal_temperature_constant():
+    t0 = 250.0
+    th = isothermal_sounding(t0)
+    from repro.core.reference import hydrostatic_exner
+
+    z, pi = hydrostatic_exner(th, 8000.0)
+    T = th(z) * pi
+    np.testing.assert_allclose(T, t0, rtol=1e-4)
+
+
+def test_tropospheric_kink():
+    th = tropospheric_sounding(z_tropopause=11000.0)
+    z = np.array([0.0, 5000.0, 11000.0, 15000.0])
+    theta = th(z)
+    assert theta[1] - theta[0] < theta[3] - theta[2]  # stratosphere stiffer
+
+
+def test_isentropic_flat():
+    th = isentropic_sounding(310.0)
+    assert np.all(th(np.linspace(0, 5000, 11)) == 310.0)
+
+
+# ------------------------------------------------------------ mountain wave
+def test_mountain_wave_case_structure():
+    case = make_mountain_wave_case(nx=24, ny=8, nz=12, dx=2000.0, ztop=12000.0)
+    assert not case.grid.is_flat()
+    # mountain peak near the domain centre
+    h = case.grid.halo
+    zs = case.grid.zs[h : h + case.grid.nx, h : h + case.grid.ny]
+    peak_i = np.unravel_index(np.argmax(zs), zs.shape)[0]
+    assert abs(peak_i - case.grid.nx // 2) <= 1
+    # uniform initial wind
+    u, v, w = case.state.velocities()
+    np.testing.assert_allclose(u[case.grid.isl_u], case.u0, rtol=1e-12)
+    assert np.all(w == 0.0)
+
+
+def test_mountain_wave_develops():
+    case = make_mountain_wave_case(nx=24, ny=8, nz=12, dx=2000.0,
+                                   ztop=12000.0, dt=4.0)
+    case.run(25)
+    d = case.model.diagnostics(case.state)
+    scale = linear_wave_w_scale(case.u0, case.mountain_height, case.half_width)
+    assert 0.02 * scale < d.max_w < 5.0 * scale
+    assert np.isfinite(d.max_wind)
+
+
+def test_linear_scale_helper():
+    assert linear_wave_w_scale(10.0, 300.0, 4000.0) == pytest.approx(0.75)
+
+
+# -------------------------------------------------------------- warm bubble
+def test_warm_bubble_initialization():
+    case = make_warm_bubble_case(nx=12, ny=12, nz=12)
+    g = case.grid
+    theta = case.state.theta_m()
+    # the bubble is warm relative to its surroundings at its own level
+    z_bubble = 2000.0
+    k = int(np.argmin(np.abs(g.z_c - z_bubble)))
+    assert g.interior(theta)[:, :, k].max() > g.interior(theta)[0, 0, k] + 1.0
+    qv = case.state.q["qv"] / case.state.rho
+    assert float(qv.max()) > 5e-3  # moist
+
+
+def test_warm_bubble_convects_and_condenses():
+    case = make_warm_bubble_case(nx=12, ny=12, nz=12, dt=4.0)
+    case.run(30)
+    d = case.model.diagnostics(case.state)
+    assert d.max_w > 0.5
+    assert case.cloud_water_path() > 0.0
+
+
+# ---------------------------------------------------------------- real case
+def test_real_case_structure():
+    case = make_real_case(nx=24, ny=21, nz=8)
+    g = case.grid
+    assert not g.periodic_x and not g.periodic_y
+    assert not g.is_flat()
+    u, v, w = case.state.velocities()
+    # the vortex makes the wind non-uniform and cyclonic
+    assert float(v[g.isl_v].max()) > 1.0
+    assert float(v[g.isl_v].min()) < -1.0
+    assert case.model.relaxation is not None
+    assert "rho" in case.model.relaxation.targets
+
+
+def test_real_case_snapshot_and_boundary_refresh():
+    case = make_real_case(nx=24, ny=21, nz=8, dt=10.0)
+    snaps = case.run_hours(
+        2 * 10.0 / 3600.0, checkpoint_hours=[2 * 10.0 / 3600.0]
+    )
+    assert len(snaps) == 1
+    s = snaps[0]
+    assert s.u.shape == (24, 21)
+    assert np.isfinite(s.max_wind)
+    assert s.min_pressure_pert < 0.0  # a low sits in the domain
+
+
+def test_real_case_boundary_targets_refresh_hourly():
+    case = make_real_case(nx=24, ny=21, nz=8, dt=10.0)
+    t0 = case._last_boundary_update
+    case.refresh_boundary_targets(3600.0)
+    assert case._last_boundary_update == 3600.0 > t0
