@@ -23,6 +23,10 @@ Subpackages
 ``repro.perf``
     FLOP counting (PAPI substitute), the calibrated kernel cost table,
     weak-scaling sweeps and the TSUBAME 2.0 projection.
+``repro.obs``
+    unified tracing & metrics: TraceSession spans, device/comm
+    collectors, Chrome-trace / JSONL / text exporters, and the run
+    metrics registry (see docs/OBSERVABILITY.md).
 ``repro.workloads``
     mountain wave (the paper's benchmark), moist warm bubble, and the
     synthetic "real data" forecast case.

@@ -3,7 +3,11 @@
 Commands
 --------
 ``run``      integrate a workload (mountain-wave / warm-bubble / real-case),
-             optionally decomposed and/or with a history file
+             optionally decomposed and/or with a history file; ``--trace``
+             writes a Chrome/Perfetto trace, ``--metrics`` prints the run
+             metrics, ``--profile`` prints the phase breakdown
+``trace``    replay a workload under tracing and write the trace artifacts
+             (Chrome Trace JSON + optional JSONL) with a text summary
 ``bench``    print one of the paper-reproduction tables (fig4, roofline,
              fig9, fig10, fig11, table1, projection)
 ``info``     device specs and calibration anchors
@@ -14,6 +18,7 @@ in examples/ as library code.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -44,6 +49,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds of model time between snapshots")
     run.add_argument("--ice", action="store_true",
                      help="enable the cold-rain (ice) extension")
+    run.add_argument("--trace", type=str, default=None, metavar="OUT.json",
+                     help="record the run and write a Chrome Trace Format "
+                          "JSON (open in chrome://tracing or Perfetto)")
+    run.add_argument("--trace-jsonl", type=str, default=None,
+                     metavar="OUT.jsonl",
+                     help="also write the trace as a JSONL event stream")
+    run.add_argument("--metrics", action="store_true",
+                     help="print the run metrics registry at the end")
+    run.add_argument("--profile", action="store_true",
+                     help="activate the phase profiler and print its "
+                          "report after integration")
+    run.add_argument("--summary", action="store_true",
+                     help="print the trace summary (implies a session)")
+
+    tr = sub.add_parser(
+        "trace", help="replay a workload under tracing (run + artifacts)")
+    tr.add_argument("workload",
+                    choices=["mountain-wave", "warm-bubble", "real-case"])
+    tr.add_argument("-o", "--output", default="trace.json",
+                    help="Chrome Trace Format output path")
+    tr.add_argument("--jsonl", type=str, default=None,
+                    help="also write a JSONL event stream here")
+    tr.add_argument("--nx", type=int, default=None)
+    tr.add_argument("--ny", type=int, default=None)
+    tr.add_argument("--nz", type=int, default=None)
+    tr.add_argument("--steps", type=int, default=5)
+    tr.add_argument("--dt", type=float, default=None)
+    tr.add_argument("--ranks", type=str, default=None, metavar="PXxPY",
+                    help="decompose, e.g. 2x2 (one device track per rank)")
+    tr.add_argument("--ice", action="store_true")
 
     bench = sub.add_parser("bench", help="print a paper table")
     bench.add_argument("table",
@@ -89,34 +124,95 @@ def _cmd_run(args) -> int:
     print(f"{args.workload}: {grid.nx}x{grid.ny}x{grid.nz}, "
           f"dt={model.config.dynamics.dt}s, {args.steps} steps")
 
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    want_metrics = getattr(args, "metrics", False)
+    want_summary = getattr(args, "summary", False)
+    session = None
+    if trace_path or jsonl_path or want_metrics or want_summary:
+        from .obs import TraceSession
+
+        session = TraceSession(name=args.workload)
+    timer = None
+    if getattr(args, "profile", False):
+        from .profiling import PhaseTimer
+
+        timer = PhaseTimer()
+
     hist = None
     if args.history:
         hist = HistoryWriter(grid, args.history,
                              every_seconds=args.history_every)
         hist.save(state)
 
-    if args.ranks:
-        px, py = (int(x) for x in args.ranks.lower().split("x"))
-        machine = MultiGpuAsuca(grid, case.ref, px, py, model.config,
-                                relaxation=getattr(model, "relaxation", None))
-        rank_states = machine.scatter_state(state)
-        machine.exchange_all(rank_states, None)
-        for i in range(args.steps):
-            rank_states = machine.step(rank_states)
-            if hist and (i + 1) % 10 == 0:
-                hist.maybe_save(machine.gather_state(rank_states))
-        state = machine.gather_state(rank_states)
-        from .core.boundary import fill_halos_state
+    machine = runner = None
+    with contextlib.ExitStack() as stack:
+        if session is not None:
+            from .obs import use_session
 
-        fill_halos_state(state)
-        stats = machine.comm.stats
-        print(f"ranks {px}x{py}: {stats.messages} messages, "
-              f"{stats.bytes_total / 1e6:.1f} MB halo traffic")
-    else:
-        for i in range(args.steps):
-            state = model.step(state)
-            if hist:
-                hist.maybe_save(state)
+            stack.enter_context(use_session(session))
+        if timer is not None:
+            from .profiling import use_timer
+
+            stack.enter_context(use_timer(timer))
+
+        if args.ranks:
+            px, py = (int(x) for x in args.ranks.lower().split("x"))
+            machine = MultiGpuAsuca(grid, case.ref, px, py, model.config,
+                                    relaxation=getattr(model, "relaxation", None))
+            if session is not None:
+                machine.attach_devices()
+            rank_states = machine.scatter_state(state)
+            machine.exchange_all(rank_states, None)
+            for i in range(args.steps):
+                rank_states = machine.step(rank_states)
+                if hist and (i + 1) % 10 == 0:
+                    hist.maybe_save(machine.gather_state(rank_states))
+            state = machine.gather_state(rank_states)
+            from .core.boundary import fill_halos_state
+
+            fill_halos_state(state)
+            stats = machine.comm.stats
+            print(f"ranks {px}x{py}: {stats.messages} messages, "
+                  f"{stats.bytes_total / 1e6:.1f} MB halo traffic")
+        elif session is not None:
+            # traced single-domain runs go through the virtual GPU so the
+            # trace carries kernel/copy tracks (same arithmetic, Fig. 1 flow)
+            from .gpu.runtime import GpuAsucaRunner
+
+            runner = GpuAsucaRunner(model)
+            runner.upload(state)
+            for i in range(args.steps):
+                state = runner.step(state)
+                if hist:
+                    hist.maybe_save(state)
+            runner.download(state)
+        else:
+            for i in range(args.steps):
+                state = model.step(state)
+                if hist:
+                    hist.maybe_save(state)
+
+    if session is not None:
+        if machine is not None:
+            for r, device in enumerate(machine.devices or []):
+                session.collect_device(device, rank=r)
+            session.collect_comm(machine.comm)
+        elif runner is not None:
+            session.collect_device(runner.device, rank=0)
+        session.finalize(steps=args.steps)
+        from .obs import summary_text, write_chrome_trace, write_jsonl
+
+        if trace_path:
+            print(f"trace: {write_chrome_trace(session, trace_path)}")
+        if jsonl_path:
+            print(f"trace events: {write_jsonl(session, jsonl_path)}")
+        if want_summary:
+            print(summary_text(session))
+        elif want_metrics:
+            print(session.metrics.report())
+    if timer is not None:
+        print(timer.report())
 
     d = model.diagnostics(state)
     print(f"t={d.time:.0f}s  max|w|={d.max_w:.3f} m/s  "
@@ -129,6 +225,20 @@ def _cmd_run(args) -> int:
         path = hist.close()
         print(f"history: {hist.n_snapshots} snapshots -> {path}")
     return 0
+
+
+# -------------------------------------------------------------------- trace
+def _cmd_trace(args) -> int:
+    """Replay a workload under tracing: a ``run`` with a session always
+    active, trace artifacts written, and the summary printed."""
+    run_args = argparse.Namespace(
+        workload=args.workload, nx=args.nx, ny=args.ny, nz=args.nz,
+        steps=args.steps, dt=args.dt, ranks=args.ranks, ice=args.ice,
+        history=None, history_every=60.0,
+        trace=args.output, trace_jsonl=args.jsonl,
+        metrics=True, profile=False, summary=True,
+    )
+    return _cmd_run(run_args)
 
 
 # -------------------------------------------------------------------- bench
@@ -246,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "reproduce":

@@ -17,6 +17,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from .. import constants as c
+from ..obs.trace import span
 from ..profiling import profile_phase
 from ..physics.ice import IceConfig, cold_rain_step
 from ..physics.surface import (
@@ -104,7 +105,8 @@ class AsucaModel:
 
     # ------------------------------------------------------------------
     def _default_exchange(self, state: State, names: list[str] | None) -> None:
-        fill_halos_state(state, names)
+        with span("halo_fill", cat="comm"):
+            fill_halos_state(state, names)
 
     def initial_state(self, *, u0: float = 0.0, v0: float = 0.0, dtype=np.float64) -> State:
         """Balanced initial state with uniform wind (halos filled)."""
@@ -116,7 +118,8 @@ class AsucaModel:
     def step(self, state: State) -> State:
         """One long time step: dynamics, then physics, then lateral
         relaxation (paper Fig. 1 flow)."""
-        new = self.integrator.step(state)
+        with span("dynamics_rk3", cat="phase"):
+            new = self.integrator.step(state)
         if self.config.physics_enabled:
             with profile_phase("physics_warm_rain"):
                 kessler_step(new, self.ref, self.config.dynamics.dt, self.config.kessler)
@@ -130,16 +133,19 @@ class AsucaModel:
                 self._exchange(new, ["rhotheta", "qv", "qc", "qr"])
         sc = self.config.surface
         if sc.heat_flux != 0.0 or sc.radiation_tau > 0.0:
-            dt = self.config.dynamics.dt
-            flux = sc.heat_flux
-            if sc.diurnal:
-                flux = diurnal_cycle_flux(sc.heat_flux, new.time, sc.day_length)
-            apply_surface_heating(new, self.ref, dt, flux)
-            apply_newtonian_cooling(new, self.ref, dt, sc.radiation_tau)
-            self._exchange(new, ["rhotheta"])
+            with span("physics_surface", cat="phase"):
+                dt = self.config.dynamics.dt
+                flux = sc.heat_flux
+                if sc.diurnal:
+                    flux = diurnal_cycle_flux(sc.heat_flux, new.time,
+                                              sc.day_length)
+                apply_surface_heating(new, self.ref, dt, flux)
+                apply_newtonian_cooling(new, self.ref, dt, sc.radiation_tau)
+                self._exchange(new, ["rhotheta"])
         if self.relaxation is not None:
-            self.relaxation.apply(new, self.config.dynamics.dt)
-            self._exchange(new, None)
+            with span("boundary_relaxation", cat="phase"):
+                self.relaxation.apply(new, self.config.dynamics.dt)
+                self._exchange(new, None)
         return new
 
     def run(

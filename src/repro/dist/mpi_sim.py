@@ -9,16 +9,23 @@ MPI semantics (the sender may immediately reuse its buffer).
 The communicator also keeps traffic statistics (message count and bytes
 per rank pair) that the performance model and the Fig. 9/11 benchmarks
 consume — the functional path and the timing path see the exact same
-messages.
+messages.  While a :class:`repro.obs.trace.TraceSession` is active, each
+post/collect pair is additionally logged as a :class:`MessageRecord`
+with wall-clock stamps; the comm collector turns the log into flow
+arrows between rank tracks.  With no session active, nothing is logged
+(tracing stays zero-cost).
 """
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimComm", "TrafficStats"]
+from ..obs.trace import _SESSIONS
+
+__all__ = ["SimComm", "TrafficStats", "MessageRecord"]
 
 
 @dataclass
@@ -27,17 +34,43 @@ class TrafficStats:
 
     messages: int = 0
     bytes_total: int = 0
-    by_pair: dict = field(default_factory=lambda: defaultdict(int))
+    by_pair: dict[tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int))
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
         self.messages += 1
         self.bytes_total += nbytes
         self.by_pair[(src, dst)] += nbytes
 
+    def per_pair_report(self) -> str:
+        """Sorted text table of bytes per (src, dst) rank pair — consumed
+        by the comm collector and the trace summary exporter."""
+        if not self.by_pair:
+            return "(no traffic)"
+        lines = [
+            f"  {src} -> {dst}: {nbytes:,} B"
+            for (src, dst), nbytes in sorted(self.by_pair.items())
+        ]
+        return "\n".join(lines)
+
     def reset(self) -> None:
         self.messages = 0
         self.bytes_total = 0
         self.by_pair.clear()
+
+
+@dataclass
+class MessageRecord:
+    """One posted message, for telemetry (only logged while a trace
+    session is active)."""
+
+    seq: int
+    src: int
+    dst: int
+    tag: object
+    nbytes: int
+    t_post: float                 #: absolute ``perf_counter`` stamp
+    t_collect: float | None = None
 
 
 class SimComm:
@@ -49,6 +82,9 @@ class SimComm:
         self.n_ranks = n_ranks
         self._mail: dict[tuple[int, int, object], np.ndarray] = {}
         self.stats = TrafficStats()
+        self.message_log: list[MessageRecord] = []
+        self._inflight: dict[tuple[int, int, object], MessageRecord] = {}
+        self._seq = 0
 
     # ------------------------------------------------------------- p2p
     def post(self, src: int, dst: int, tag: object, buf: np.ndarray) -> None:
@@ -60,17 +96,27 @@ class SimComm:
             raise RuntimeError(f"duplicate message {key} — missing collect?")
         self._mail[key] = np.array(buf, copy=True)
         self.stats.record(src, dst, buf.nbytes)
+        if _SESSIONS:
+            rec = MessageRecord(self._seq, src, dst, tag, buf.nbytes,
+                                time.perf_counter())
+            self._seq += 1
+            self.message_log.append(rec)
+            self._inflight[key] = rec
 
     def collect(self, src: int, dst: int, tag: object) -> np.ndarray:
         """Matching receive; raises if the message was never posted."""
         key = (src, dst, tag)
         try:
-            return self._mail.pop(key)
+            data = self._mail.pop(key)
         except KeyError:
             raise RuntimeError(
                 f"rank {dst} expected message {tag!r} from rank {src}, "
                 "but nothing was posted — lockstep ordering bug"
             ) from None
+        rec = self._inflight.pop(key, None)
+        if rec is not None:
+            rec.t_collect = time.perf_counter()
+        return data
 
     def pending(self) -> int:
         """Number of posted-but-uncollected messages (0 after a clean

@@ -27,6 +27,7 @@ from ..core.pressure import eos_pressure
 from ..core.reference import ReferenceState
 from ..core.rk3 import Rk3Integrator
 from ..core.state import State
+from ..obs.trace import span
 from ..physics.ice import cold_rain_step
 from ..physics.kessler import kessler_step
 from .decomposition import Subdomain, decompose, make_subgrid
@@ -104,6 +105,8 @@ class MultiGpuAsuca:
             periodic_x=global_grid.periodic_x,
             periodic_y=global_grid.periodic_y,
         )
+        #: per-rank virtual GPUs (telemetry path); see :meth:`attach_devices`
+        self.devices: list | None = None
         self.ranks: list[_Rank] = []
         for sub in self.subs:
             grid = make_subgrid(global_grid, sub)
@@ -122,6 +125,61 @@ class MultiGpuAsuca:
             "rank-local integrator must be driven through step_phases(); "
             "direct step() would skip the multi-GPU exchange"
         )
+
+    # ------------------------------------------------------ device telemetry
+    def attach_devices(self, spec=None, *, precision=None, order=None,
+                       ns: int | None = None, copy_engines: int = 1) -> list:
+        """Attach one virtual :class:`~repro.gpu.device.GPUDevice` per
+        rank.  Subsequent :meth:`step` calls charge the modeled kernel
+        launches of the long step and the halo PCIe copies to each
+        rank's timeline, so a decomposed run yields per-rank device
+        tracks (kernels, H2D/D2H) alongside the message flows — the
+        telemetry picture of the paper's Figs. 8/9."""
+        from ..gpu.coalescing import ArrayOrder
+        from ..gpu.device import GPUDevice
+        from ..gpu.spec import Precision, TESLA_S1070
+        from ..perf.costmodel import ASUCA_KERNELS, launch_schedule
+
+        self._dev_precision = precision or Precision.SINGLE
+        self._dev_order = order or ArrayOrder.XZY
+        self._dev_schedule = launch_schedule(
+            ns or self.config.dynamics.ns,
+            include_ice=self.config.ice_enabled)
+        self._dev_kernels = ASUCA_KERNELS
+        self.devices = [
+            GPUDevice(spec or TESLA_S1070, copy_engines=copy_engines,
+                      label=f"rank{r}")
+            for r in range(len(self.subs))
+        ]
+        return self.devices
+
+    def _charge_devices(self, by_pair_before: dict) -> None:
+        """Charge one step's modeled kernels plus the step's halo PCIe
+        traffic (D2H on the sender, H2D on the receiver — the GPU-CPU
+        leg of every exchanged strip) to the per-rank timelines."""
+        nz = self.global_grid.nz
+        for rank, device in zip(self.ranks, self.devices):
+            n_points = rank.sub.nx * rank.sub.ny * nz
+            for name, count in self._dev_schedule:
+                kernel = self._dev_kernels[name]
+                for _ in range(count):
+                    kernel.launch(device, n_points,
+                                  precision=self._dev_precision,
+                                  order=self._dev_order)
+        for (src, dst), nbytes in self.comm.stats.by_pair.items():
+            delta = nbytes - by_pair_before.get((src, dst), 0)
+            if delta <= 0:
+                continue
+            t_d2h = delta / self.devices[src].spec.pcie_bandwidth
+            self.devices[src].schedule(
+                f"halo_d2h:{src}->{dst}", "d2h",
+                self.devices[src].default_stream, t_d2h,
+                bytes_moved=delta, tag="halo")
+            t_h2d = delta / self.devices[dst].spec.pcie_bandwidth
+            self.devices[dst].schedule(
+                f"halo_h2d:{src}->{dst}", "h2d",
+                self.devices[dst].default_stream, t_h2d,
+                bytes_moved=delta, tag="halo")
 
     # -------------------------------------------------------- scatter/gather
     def scatter_state(self, global_state: State) -> list[State]:
@@ -180,42 +238,54 @@ class MultiGpuAsuca:
 
     # ---------------------------------------------------------------- step
     def exchange_all(self, states: list[State], names=None) -> None:
-        self.exchanger.exchange(states, names)
+        with span("halo_exchange", cat="comm"):
+            self.exchanger.exchange(states, names)
 
     def step(self, states: list[State]) -> list[State]:
         """One long step across all ranks, lockstep."""
-        gens = [r.integrator.step_phases(st) for r, st in zip(self.ranks, states)]
-        results: list[State | None] = [None] * len(gens)
-        live = list(range(len(gens)))
-        while live:
-            pending: list[tuple[State, list[str] | None]] = []
-            for i in list(live):
-                try:
-                    pending.append(next(gens[i]))
-                except StopIteration as stop:
-                    results[i] = stop.value
-                    live.remove(i)
-            if pending:
-                if len(pending) != len(gens):
-                    raise RuntimeError("ranks desynchronized at an exchange point")
-                fields = pending[0][1]
-                self.exchanger.exchange([st for st, _ in pending], fields)
+        by_pair_before = (dict(self.comm.stats.by_pair)
+                          if self.devices is not None else {})
+        with span("rk3_long_step", cat="phase"):
+            gens = [r.integrator.step_phases(st)
+                    for r, st in zip(self.ranks, states)]
+            results: list[State | None] = [None] * len(gens)
+            live = list(range(len(gens)))
+            while live:
+                pending: list[tuple[State, list[str] | None]] = []
+                for i in list(live):
+                    try:
+                        pending.append(next(gens[i]))
+                    except StopIteration as stop:
+                        results[i] = stop.value
+                        live.remove(i)
+                if pending:
+                    if len(pending) != len(gens):
+                        raise RuntimeError(
+                            "ranks desynchronized at an exchange point")
+                    fields = pending[0][1]
+                    self.exchange_all([st for st, _ in pending], fields)
         new_states = [r for r in results if r is not None]
 
         if self.config.physics_enabled:
-            for rank, st in zip(self.ranks, new_states):
-                kessler_step(st, rank.ref, self.config.dynamics.dt, self.config.kessler)
-                if self.config.ice_enabled:
-                    cold_rain_step(st, rank.ref, self.config.dynamics.dt,
-                                   self.config.ice)
+            with span("physics", cat="phase"):
+                for rank, st in zip(self.ranks, new_states):
+                    kessler_step(st, rank.ref, self.config.dynamics.dt,
+                                 self.config.kessler)
+                    if self.config.ice_enabled:
+                        cold_rain_step(st, rank.ref, self.config.dynamics.dt,
+                                       self.config.ice)
             fields = ["rhotheta", "qv", "qc", "qr", "rho"]
             if self.config.ice_enabled:
                 fields += ["qi", "qs"]
             self.exchange_all(new_states, fields)
         if self.relaxation is not None:
-            dt = self.config.dynamics.dt
-            for rank, st in zip(self.ranks, new_states):
-                self.relaxation.apply_sliced(st, dt, rank.sub.x0, rank.sub.y0)
+            with span("boundary_relaxation", cat="phase"):
+                dt = self.config.dynamics.dt
+                for rank, st in zip(self.ranks, new_states):
+                    self.relaxation.apply_sliced(st, dt, rank.sub.x0,
+                                                 rank.sub.y0)
+        if self.devices is not None:
+            self._charge_devices(by_pair_before)
         return new_states
 
     def run(self, states: list[State], n_steps: int) -> list[State]:

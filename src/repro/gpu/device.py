@@ -78,8 +78,12 @@ class GPUDevice:
     pass 2 for devices with dual copy engines.
     """
 
-    def __init__(self, spec: DeviceSpec = TESLA_S1070, *, copy_engines: int = 1):
+    def __init__(self, spec: DeviceSpec = TESLA_S1070, *, copy_engines: int = 1,
+                 label: str = "gpu0"):
         self.spec = spec
+        #: track identity for telemetry (e.g. ``rank3``); collectors use
+        #: it to stamp this device's ops in merged multi-rank traces
+        self.label = label
         # the 'mpi' engine stands for the host-side network: MPI transfers
         # occupy it without blocking the GPU engines (paper Fig. 8)
         self._engines: dict[str, float] = {"compute": 0.0, "mpi": 0.0}

@@ -68,12 +68,12 @@ class GpuAsucaRunner:
             self._device_arrays[name] = d
 
     def download(self, state: State, names: list[str] | None = None) -> None:
-        """Fetch output fields to the host (Fig. 1 output transfer)."""
+        """Fetch output fields to the host (Fig. 1 output transfer),
+        writing the device data into the caller's state arrays."""
         for name in names or ["rhou", "rhov", "rhow", "rhotheta"]:
-            arr = state.get(name)
             d = self._device_arrays.get(name)
             if d is not None:
-                d.copy_to_host(np.empty_like(arr), tag="output")
+                d.copy_to_host(state.get(name), tag="output")
 
     # ---------------------------------------------------------------- step
     def step(self, state: State) -> State:

@@ -1,0 +1,48 @@
+"""Unified tracing & metrics: one run context for host, device and comm.
+
+The reproduction's three signal sources — host phase timings
+(:mod:`repro.profiling`), virtual-GPU op timelines
+(:class:`repro.gpu.device.GPUDevice`), and simulated-MPI traffic
+(:class:`repro.dist.mpi_sim.SimComm`) — flow into a single
+:class:`TraceSession`:
+
+* **spans** (:func:`span`, plus the ``profile_phase`` shim) record host
+  intervals while a session is active;
+* **collectors** ingest device timelines and message logs after a run,
+  stamped with rank/device identity;
+* **exporters** emit Chrome Trace Format JSON (``chrome://tracing`` /
+  Perfetto), a JSONL event stream, and a text summary;
+* the **metrics registry** answers "how many kernel launches per step,
+  how many halo bytes, what sustained GFlops" at run end.
+
+See docs/OBSERVABILITY.md for a worked multi-rank example, and
+``repro trace --help`` for the CLI entry point.
+"""
+from .collectors import collect_comm, collect_device
+from .exporters import (
+    chrome_trace,
+    jsonl_events,
+    summary_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    DeviceOpRecord,
+    FlowRecord,
+    InstantRecord,
+    SpanRecord,
+    TraceSession,
+    active_session,
+    span,
+    use_session,
+)
+
+__all__ = [
+    "TraceSession", "use_session", "active_session", "span",
+    "SpanRecord", "InstantRecord", "DeviceOpRecord", "FlowRecord",
+    "collect_device", "collect_comm",
+    "chrome_trace", "write_chrome_trace",
+    "jsonl_events", "write_jsonl", "summary_text",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+]

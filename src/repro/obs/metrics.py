@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, and histograms for run telemetry.
+
+Collectors populate the registry of a :class:`~repro.obs.trace.TraceSession`
+(kernel launches, halo bytes, PCIe traffic, modeled flops) and
+``TraceSession.finalize`` derives run-level gauges (per-step rates,
+sustained GFlops).  Everything is queryable at run end via
+:meth:`MetricsRegistry.as_dict` or printable via
+:meth:`MetricsRegistry.report`.
+
+Stdlib-only (see :mod:`repro.obs.trace` for why).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (count / sum /
+    min / max / mean — enough for launch-duration style telemetry
+    without retaining every sample)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Name-keyed get-or-create store of metrics."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ access
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            c = self.counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            g = self.gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            h = self.histograms[name] = Histogram(name)
+            return h
+
+    # --------------------------------------------------------- reporting
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self.histograms.items())},
+        }
+
+    def report(self) -> str:
+        """Text table of all metrics, grouped by type."""
+        lines = [f"{'metric':<32} {'type':>9} {'value':>16}"]
+        for n, c in sorted(self.counters.items()):
+            lines.append(f"{n:<32} {'counter':>9} {c.value:>16,.0f}")
+        for n, g in sorted(self.gauges.items()):
+            lines.append(f"{n:<32} {'gauge':>9} {g.value:>16,.3f}")
+        for n, h in sorted(self.histograms.items()):
+            s = h.summary()
+            lines.append(
+                f"{n:<32} {'hist':>9} "
+                f"n={s['count']} mean={s['mean']:.3g} "
+                f"min={s['min']:.3g} max={s['max']:.3g}")
+        return "\n".join(lines)

@@ -17,7 +17,13 @@ from .costmodel import (
     launch_schedule,
 )
 from .report import ComparisonReport, format_table
-from .timeline import TimelineSummary, busy_by_name, gantt_text, summarize
+from .timeline import (
+    TimelineSummary,
+    busy_by_name,
+    gantt_text,
+    summarize,
+    summarize_ops,
+)
 
 __all__ = [
     "CountingArray", "FlopCounter",
@@ -28,7 +34,8 @@ __all__ = [
     "DecompositionVariant", "decomposition_ablation", "near_square_factors",
     "Projection", "paper_formula_projection", "model_projection",
     "SensitivityRow", "sensitivity_sweep",
-    "TimelineSummary", "summarize", "gantt_text", "busy_by_name",
+    "TimelineSummary", "summarize", "summarize_ops", "gantt_text",
+    "busy_by_name",
     "ComparisonReport", "format_table",
 ]
 

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..gpu.device import GPUDevice, Op
 
-__all__ = ["TimelineSummary", "summarize", "gantt_text", "busy_by_name"]
+__all__ = ["TimelineSummary", "summarize", "summarize_ops", "gantt_text",
+           "busy_by_name"]
 
 
 @dataclass
@@ -28,14 +30,23 @@ class TimelineSummary:
 
 
 def summarize(device: GPUDevice) -> TimelineSummary:
-    ops = device.timeline
+    return summarize_ops(device.timeline, makespan=device.elapsed())
+
+
+def summarize_ops(ops: Iterable[Op], makespan: float | None = None) -> TimelineSummary:
+    """Aggregate any op-shaped sequence (objects with ``kind``, ``tag``,
+    ``start``, ``end``, ``duration``) — shared by :func:`summarize` and
+    the text exporter of :mod:`repro.obs.exporters`, which feeds it
+    :class:`~repro.obs.trace.DeviceOpRecord` lists."""
+    ops = list(ops)
     by_kind: dict[str, float] = defaultdict(float)
     by_tag: dict[str, float] = defaultdict(float)
     for op in ops:
         by_kind[op.kind] += op.duration
         if op.tag:
             by_tag[op.tag] += op.duration
-    makespan = device.elapsed()
+    if makespan is None:
+        makespan = max((op.end for op in ops), default=0.0)
 
     # sweep for multi-engine concurrency
     events: list[tuple[float, int]] = []

@@ -1,7 +1,7 @@
 """Phase profiler: wall-clock breakdown of the *reproduction's own*
-execution.  (Top-level module: it must import nothing from the package so
-the core integrator can use it without import cycles; ``repro.perf``
-re-exports it.)
+execution.  (Top-level module: it imports only the stdlib-only tracing
+core :mod:`repro.obs.trace`, so the core integrator can use it without
+import cycles; ``repro.perf`` re-exports it.)
 
 The paper profiles its CUDA kernels (Fig. 9); this profiles the NumPy
 twin.  The integrator and physics are instrumented with
@@ -13,6 +13,13 @@ twin.  The integrator and physics are instrumented with
         model.run(state, 10)
     print(timer.report())
 
+:func:`profile_phase` is also the host-span shim of the unified tracing
+layer: while a :class:`repro.obs.trace.TraceSession` is active (via
+:func:`repro.obs.trace.use_session`), every phase is additionally
+recorded as a span on that session — so the existing instrumentation
+feeds Chrome-trace exports without any call-site changes.  With neither
+a timer nor a session active, the overhead is two empty-list checks.
+
 Following the repository's coding guides ("no optimization without
 measuring"), this is the measurement half of the optimization workflow —
 the throughput benchmarks are its regression harness.
@@ -23,6 +30,8 @@ import contextlib
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+from .obs.trace import _SESSIONS
 
 __all__ = ["PhaseTimer", "use_timer", "profile_phase"]
 
@@ -77,14 +86,20 @@ def use_timer(timer: PhaseTimer):
 
 @contextlib.contextmanager
 def profile_phase(name: str):
-    """Charge the enclosed block to the innermost active timer (a no-op —
-    one list lookup — when no timer is active)."""
-    if not _ACTIVE:
+    """Charge the enclosed block to the innermost active timer and/or
+    record it as a span on the innermost active trace session (a no-op —
+    two list lookups — when neither is active)."""
+    if not _ACTIVE and not _SESSIONS:
         yield
         return
-    timer = _ACTIVE[-1]
     t0 = time.perf_counter()
     try:
         yield
     finally:
-        timer.add(name, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        if _ACTIVE:
+            _ACTIVE[-1].add(name, t1 - t0)
+        if _SESSIONS:
+            session = _SESSIONS[-1]
+            session.record_span(name, t0 - session.epoch, t1 - t0,
+                                cat="phase")

@@ -1,0 +1,47 @@
+"""Tests of the metrics registry."""
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    m = MetricsRegistry()
+    c = m.counter("kernel.launches")
+    assert c is m.counter("kernel.launches")
+    c.inc()
+    c.inc(4)
+    assert m.counter("kernel.launches").value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    m = MetricsRegistry()
+    m.gauge("gflops").set(12.5)
+    m.gauge("gflops").set(44.3)
+    assert m.gauge("gflops").value == 44.3
+
+
+def test_histogram_summary():
+    m = MetricsRegistry()
+    h = m.histogram("dur")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["min"] == 1.0 and s["max"] == 3.0
+    assert s["mean"] == pytest.approx(2.0)
+    assert m.histogram("empty").summary()["count"] == 0
+
+
+def test_as_dict_and_report():
+    m = MetricsRegistry()
+    m.counter("halo.bytes").inc(1024)
+    m.gauge("steps").set(3)
+    m.histogram("d").observe(0.5)
+    d = m.as_dict()
+    assert d["counters"]["halo.bytes"] == 1024
+    assert d["gauges"]["steps"] == 3
+    assert d["histograms"]["d"]["count"] == 1
+    rep = m.report()
+    assert "halo.bytes" in rep and "steps" in rep and "counter" in rep

@@ -74,3 +74,35 @@ def test_exception_still_charges():
             with profile_phase("boom"):
                 raise ValueError("x")
     assert t.calls["boom"] == 1
+
+
+def test_use_timer_reentrant_same_timer():
+    """Nesting use_timer with the *same* timer charges each phase exactly
+    once — the innermost activation wins, not both stack entries."""
+    t = PhaseTimer()
+    with use_timer(t):
+        with use_timer(t):
+            with profile_phase("inner"):
+                pass
+        with profile_phase("outer"):
+            pass
+    assert t.calls["inner"] == 1
+    assert t.calls["outer"] == 1
+
+
+def test_use_timer_restores_outer_after_inner_exits():
+    """Three-deep nesting: after the innermost block exits, charges go
+    back to the next timer on the stack (LIFO restore)."""
+    a, b, c = PhaseTimer(), PhaseTimer(), PhaseTimer()
+    with use_timer(a):
+        with use_timer(b):
+            with use_timer(c):
+                with profile_phase("deep"):
+                    pass
+            with profile_phase("mid"):
+                pass
+        with profile_phase("top"):
+            pass
+    assert c.calls["deep"] == 1 and "deep" not in b.calls and "deep" not in a.calls
+    assert b.calls["mid"] == 1 and "mid" not in a.calls and "mid" not in c.calls
+    assert a.calls["top"] == 1 and "top" not in b.calls
