@@ -12,9 +12,8 @@ decomposed run matches the single-domain run bit for bit.
 import numpy as np
 import pytest
 
-from repro.dist.multigpu import MultiGpuAsuca
+from repro.api import Experiment, RunSpec
 from repro.perf.report import format_table
-from repro.workloads.real_case import make_real_case
 
 #: scaled checkpoint times [model minutes] standing in for the 2/4/6 h
 CHECKPOINT_MIN = [4.0, 8.0, 12.0]
@@ -23,13 +22,12 @@ CHECKPOINT_MIN = [4.0, 8.0, 12.0]
 def _run_case():
     # saturated warm core (typhoon-like) so the warm-rain chain engages
     # within the scaled forecast horizon
-    case = make_real_case(nx=36, ny=30, nz=12, dx=2500.0, dt=6.0,
-                          vortex_rh=1.1, vortex_amp=10.0)
-    machine = MultiGpuAsuca(case.grid, case.ref, px=2, py=3,
-                            config=case.model.config,
-                            relaxation=case.model.relaxation)
-    rank_states = machine.scatter_state(case.state)
-    machine.exchange_all(rank_states, None)
+    exp = Experiment(RunSpec(
+        workload="real-case", steps=0, backend="multigpu", ranks=(2, 3),
+        nx=36, ny=30, nz=12, dt=6.0,
+        workload_kwargs=dict(dx=2500.0, vortex_rh=1.1,
+                             vortex_amp=10.0))).prepare()
+    case = exp.case
 
     snaps = []
     dt = case.model.config.dynamics.dt
@@ -37,16 +35,15 @@ def _run_case():
     done = 0
     for minutes in CHECKPOINT_MIN:
         steps = int(round(minutes * 60 / dt)) - done
-        rank_states = machine.run(rank_states, steps)
+        exp.advance(steps)
         done += steps
-        gathered = machine.gather_state(rank_states)
-        case.state = gathered
+        exp.gather()
         snaps.append(case.snapshot(minutes / 60.0))
-    return case, machine, rank_states, snaps
+    return case, exp, snaps
 
 
 def test_fig12_real_case_forecast(benchmark, emit):
-    case, machine, rank_states, snaps = benchmark.pedantic(
+    case, exp, snaps = benchmark.pedantic(
         _run_case, rounds=1, iterations=1
     )
 
@@ -82,21 +79,15 @@ def test_fig12_real_case_forecast(benchmark, emit):
 
 
 def test_fig12_decomposed_equals_single(benchmark, emit):
-    """The paper's round-off-equality claim, on the real-data path."""
+    """The paper's round-off-equality claim, on the real-data path — both
+    runs constructed through the same RunSpec, differing only in backend."""
 
     def run_both():
-        case = make_real_case(nx=24, ny=21, nz=8, dt=6.0)
-        machine = MultiGpuAsuca(case.grid, case.ref, 2, 3,
-                                case.model.config,
-                                relaxation=case.model.relaxation)
-        rs = machine.scatter_state(case.state)
-        machine.exchange_all(rs, None)
-        single = case.state
-        for _ in range(10):
-            single = case.model.step(single)
-            rs = machine.step(rs)
-        gathered = machine.gather_state(rs)
-        g = case.grid
+        kw = dict(workload="real-case", steps=10, nx=24, ny=21, nz=8,
+                  dt=6.0)
+        single = Experiment(RunSpec(backend="cpu", **kw)).run().state
+        gathered = Experiment(RunSpec(ranks=(2, 3), **kw)).run().state
+        g = gathered.grid
         h = g.halo
         return max(
             float(np.abs(

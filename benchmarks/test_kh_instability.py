@@ -8,16 +8,20 @@ mountain-wave validation.
 """
 import pytest
 
+from repro.api import Experiment, RunSpec
 from repro.perf.report import format_table
-from repro.workloads.shear_layer import make_shear_layer_case
 
 
 def _growth(richardson: float) -> tuple[float, float, float]:
-    case = make_shear_layer_case(richardson=richardson)
-    case.run(150)
-    ke_early = case.perturbation_ke()
-    case.run(450)
-    ke_late = case.perturbation_ke()
+    exp = Experiment(RunSpec(
+        workload="shear-layer", steps=0,
+        workload_kwargs={"richardson": richardson})).prepare()
+    exp.advance(150)
+    exp.gather()
+    ke_early = exp.case.perturbation_ke()
+    exp.advance(450)
+    exp.gather()
+    ke_late = exp.case.perturbation_ke()
     return ke_early, ke_late, ke_late / ke_early
 
 

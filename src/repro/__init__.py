@@ -30,8 +30,17 @@ Subpackages
 ``repro.workloads``
     mountain wave (the paper's benchmark), moist warm bubble, and the
     synthetic "real data" forecast case.
+``repro.resilience``
+    fault injection (dropped/corrupted/delayed halo messages, PCIe
+    failures, rank crashes), retry/backoff, and atomic checkpoint-restart
+    (see docs/RESILIENCE.md).
+``repro.api``
+    the unified run facade: ``RunSpec`` -> ``Experiment`` -> ``RunResult``
+    over the cpu / gpu / multigpu backends — the single way entry points
+    construct and drive runs.
 """
 from . import constants
+from .api import Experiment, RunResult, RunSpec
 from .core import (
     AsucaModel,
     DynamicsConfig,
@@ -47,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "constants",
+    "Experiment", "RunResult", "RunSpec",
     "AsucaModel", "DynamicsConfig", "ModelConfig", "State",
     "bell_mountain", "make_grid", "make_reference_state",
     "state_from_reference",

@@ -1,0 +1,477 @@
+"""The unified run facade: ``RunSpec`` -> ``Experiment`` -> ``RunResult``.
+
+Before this module existed, every entry point — the CLI, the benchmarks,
+the examples — grew its own ad-hoc path from "which workload, what size,
+how many ranks" to a driven run, and the Hybrid Fortran line of work on
+ASUCA (Müller & Aoki) argues a production port lives or dies on a uniform
+execution interface over its CPU/GPU/multi-rank backends.  This is that
+interface:
+
+* :class:`RunSpec` — one declarative description of a run: workload,
+  grid, steps, backend (``cpu`` / ``gpu`` / ``multigpu``), decomposition,
+  trace/metrics options, and resilience options (fault plan, retry
+  policy, checkpoint cadence, resume).
+* :class:`Experiment` — ``prepare()`` builds the case and the chosen
+  backend (:class:`~repro.core.model.AsucaModel` directly, a
+  :class:`~repro.gpu.runtime.GpuAsucaRunner`, or a
+  :class:`~repro.dist.multigpu.MultiGpuAsuca`); ``run()`` drives the
+  step loop with checkpointing and crash recovery; ``advance()`` /
+  ``gather()`` support segmented use (benchmarks that inspect
+  intermediate states).
+* :class:`RunResult` — the final state plus diagnostics, telemetry, and
+  the resilience ledger (faults fired, retries, recoveries, recovery
+  time).
+
+A run with an injected rank crash, checkpointed every K steps, resumes
+from the newest checkpoint and produces fields bit-identical to an
+uninterrupted run (tests/resilience/test_api.py) — the checkpoint format
+itself guarantees this (see :mod:`repro.resilience.checkpoint`).
+"""
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from .core.boundary import fill_halos_state
+from .core.model import StepDiagnostics
+from .core.state import State
+from .obs.trace import TraceSession, span, use_session
+from .resilience.checkpoint import CheckpointManager
+from .resilience.faults import FaultInjector, FaultPlan, RankCrash
+from .resilience.retry import RetryPolicy
+
+__all__ = ["RunSpec", "Experiment", "RunResult", "make_case", "parse_ranks"]
+
+_BACKENDS = ("auto", "cpu", "gpu", "multigpu")
+
+
+def _workload_factories() -> dict[str, Callable]:
+    from .workloads import (
+        make_mountain_wave_case,
+        make_real_case,
+        make_shear_layer_case,
+        make_warm_bubble_case,
+    )
+
+    return {
+        "mountain-wave": make_mountain_wave_case,
+        "warm-bubble": make_warm_bubble_case,
+        "real-case": make_real_case,
+        "shear-layer": make_shear_layer_case,
+    }
+
+
+#: the workload names a RunSpec accepts
+WORKLOADS = ("mountain-wave", "warm-bubble", "real-case", "shear-layer")
+
+
+def make_case(workload: str, **kwargs):
+    """Build a workload case (grid + reference + model + state bundle) by
+    name — the single implementation behind every entry point (the CLI's
+    old ``_make_case`` is a deprecated shim over this)."""
+    factories = _workload_factories()
+    try:
+        factory = factories[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose one of "
+            f"{', '.join(sorted(factories))}") from None
+    return factory(**{k: v for k, v in kwargs.items() if v is not None})
+
+
+def parse_ranks(spec: "str | tuple[int, int] | None") -> tuple[int, int] | None:
+    """Parse a process-grid spec ('2x3' or a (px, py) tuple)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        px, py = (int(x) for x in spec.lower().split("x"))
+        return px, py
+    px, py = spec
+    return int(px), int(py)
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to construct and drive one run."""
+
+    workload: str = "warm-bubble"
+    steps: int = 50
+    #: grid overrides (None = the workload's defaults)
+    nx: int | None = None
+    ny: int | None = None
+    nz: int | None = None
+    dt: float | None = None
+    #: extra keyword arguments for the workload factory
+    workload_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: 'cpu' (plain AsucaModel), 'gpu' (virtual-GPU runner), 'multigpu'
+    #: (decomposed), or 'auto' (multigpu if ranks given, gpu if traced)
+    backend: str = "auto"
+    ranks: "tuple[int, int] | str | None" = None
+    precision: Any = None           #: gpu/multigpu modeled precision
+    ice: bool = False
+    # ---------------------------------------------------- observability
+    trace_path: str | None = None
+    trace_jsonl: str | None = None
+    metrics: bool = False
+    profile: bool = False
+    summary: bool = False
+    history_path: str | None = None
+    history_every: float = 60.0
+    # ------------------------------------------------------- resilience
+    faults: "FaultPlan | str | None" = None
+    retry: RetryPolicy | None = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    checkpoint_keep: int = 2
+    resume: bool = False
+
+    # ------------------------------------------------------------------
+    def wants_session(self) -> bool:
+        return bool(self.trace_path or self.trace_jsonl or self.metrics
+                    or self.summary)
+
+    def normalized(self) -> "RunSpec":
+        """Validated copy with backend/ranks/fault-plan coherence."""
+        ranks = parse_ranks(self.ranks)
+        backend = self.backend
+        if backend == "auto":
+            backend = ("multigpu" if ranks is not None
+                       else "gpu" if self.wants_session() else "cpu")
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if backend == "multigpu" and ranks is None:
+            raise ValueError("backend 'multigpu' needs ranks=(px, py)")
+        if backend != "multigpu":
+            ranks = None
+        if self.steps < 0:
+            raise ValueError("steps must be >= 0")
+        if (self.resume or self.checkpoint_every > 0) and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpointing/resume needs checkpoint_dir")
+        return replace(self, backend=backend, ranks=ranks,
+                       faults=FaultPlan.parse(self.faults))
+
+
+@dataclass
+class RunResult:
+    """What a completed :meth:`Experiment.run` hands back."""
+
+    spec: RunSpec
+    state: State
+    diagnostics: StepDiagnostics
+    steps_done: int
+    wall_time: float
+    session: TraceSession | None = None
+    #: JSON-ready metrics snapshot (None when no session was active)
+    metrics: dict | None = None
+    #: (step, kind, detail) log of faults that actually fired
+    fault_log: list = field(default_factory=list)
+    retry_stats: Any = None
+    recoveries: int = 0
+    recovery_wall_s: float = 0.0
+    checkpoints_written: int = 0
+    resumed_from: int | None = None
+    halo_messages: int = 0
+    halo_bytes: int = 0
+
+    def resilience_report(self) -> str:
+        parts = [f"{len(self.fault_log)} faults fired"]
+        if self.retry_stats is not None:
+            parts.append(self.retry_stats.report())
+        parts.append(f"{self.recoveries} crash recoveries "
+                     f"({self.recovery_wall_s * 1e3:.1f} ms wall)")
+        parts.append(f"{self.checkpoints_written} checkpoints written")
+        if self.resumed_from is not None:
+            parts.append(f"resumed from step {self.resumed_from}")
+        return "; ".join(parts)
+
+
+class Experiment:
+    """The single way to construct and drive a run.
+
+    Usage::
+
+        result = Experiment(RunSpec(workload="warm-bubble", steps=20,
+                                    backend="multigpu", ranks=(2, 2),
+                                    faults="demo",
+                                    checkpoint_every=5,
+                                    checkpoint_dir="ckpts")).prepare().run()
+        print(result.diagnostics, result.resilience_report())
+
+    Segmented use (benchmarks): ``prepare()`` once, then any number of
+    ``advance(n)`` calls with ``gather()``/``case`` inspection between.
+    """
+
+    def __init__(self, spec: RunSpec):
+        self.spec = spec.normalized()
+        self.case = None
+        self.model = None
+        self.grid = None
+        self.state: State | None = None
+        self.machine = None                 #: MultiGpuAsuca (multigpu)
+        self.rank_states: list[State] | None = None
+        self.runner = None                  #: GpuAsucaRunner (gpu)
+        self.session: TraceSession | None = None
+        self.timer = None
+        self.injector: FaultInjector | None = None
+        self.checkpoints: CheckpointManager | None = None
+        self.history = None
+        self.step_index = 0
+        self.recoveries = 0
+        self.recovery_wall_s = 0.0
+        self.resumed_from: int | None = None
+        self._initial: "State | list[State] | None" = None
+        self._prepared = False
+
+    # ------------------------------------------------------------ build
+    def prepare(self) -> "Experiment":
+        """Build the case, the backend, and the resilience machinery."""
+        if self._prepared:
+            return self
+        spec = self.spec
+        self.case = make_case(spec.workload, nx=spec.nx, ny=spec.ny,
+                              nz=spec.nz, dt=spec.dt,
+                              **spec.workload_kwargs)
+        self.model = self.case.model
+        self.grid = self.case.grid
+        self.state = self.case.state
+        if spec.ice:
+            self.model.config.ice_enabled = True
+            self.model.config.physics_enabled = True
+
+        if spec.faults and len(spec.faults):
+            self.injector = FaultInjector(spec.faults)
+        if spec.wants_session():
+            self.session = TraceSession(name=spec.workload)
+        if spec.profile:
+            from .profiling import PhaseTimer
+
+            self.timer = PhaseTimer()
+        if spec.checkpoint_dir:
+            self.checkpoints = CheckpointManager(
+                spec.checkpoint_dir, every=spec.checkpoint_every,
+                keep=spec.checkpoint_keep)
+
+        if spec.backend == "multigpu":
+            from .dist.multigpu import MultiGpuAsuca
+
+            px, py = spec.ranks
+            self.machine = MultiGpuAsuca(
+                self.grid, self.case.ref, px, py, self.model.config,
+                relaxation=getattr(self.model, "relaxation", None),
+                fault_injector=self.injector, retry=spec.retry)
+            if self.session is not None:
+                self.machine.attach_devices(precision=spec.precision)
+            self.rank_states = self.machine.scatter_state(self.state)
+            with self._contexts():
+                self.machine.exchange_all(self.rank_states, None)
+            self._initial = [st.copy() for st in self.rank_states]
+        elif spec.backend == "gpu":
+            from .gpu.device import GPUDevice
+            from .gpu.runtime import GpuAsucaRunner
+            from .gpu.spec import TESLA_S1070
+
+            device = GPUDevice(TESLA_S1070, fault_injector=self.injector)
+            kw = {} if spec.precision is None else {"precision": spec.precision}
+            self.runner = GpuAsucaRunner(self.model, device, **kw)
+            self.runner.upload(self.state)
+            self._initial = self.state.copy()
+        else:
+            self._initial = self.state.copy()
+
+        if spec.resume:
+            if self.checkpoints.latest_step() is None:
+                raise FileNotFoundError(
+                    f"--resume: no checkpoint under {spec.checkpoint_dir}")
+            self._restore(self.checkpoints.load(self._grids()))
+            self.resumed_from = self.step_index
+
+        if spec.history_path:
+            from .history import HistoryWriter
+
+            self.history = HistoryWriter(self.grid, spec.history_path,
+                                         every_seconds=spec.history_every)
+            self.history.save(self.gather())
+        self._prepared = True
+        return self
+
+    def _grids(self):
+        if self.machine is not None:
+            return [r.grid for r in self.machine.ranks]
+        return [self.grid]
+
+    @contextlib.contextmanager
+    def _contexts(self):
+        """Activate the session/profiler around any stepping."""
+        with contextlib.ExitStack() as stack:
+            if self.session is not None:
+                stack.enter_context(use_session(self.session))
+            if self.timer is not None:
+                from .profiling import use_timer
+
+                stack.enter_context(use_timer(self.timer))
+            yield
+
+    # ------------------------------------------------------------ drive
+    def run(self) -> RunResult:
+        """Drive the run to ``spec.steps``, checkpointing and recovering
+        from rank crashes along the way; returns the :class:`RunResult`."""
+        if not self._prepared:
+            self.prepare()
+        t0 = time.perf_counter()
+        with self._contexts():
+            while self.step_index < self.spec.steps:
+                try:
+                    self._step_once()
+                except RankCrash as crash:
+                    self._recover(crash)
+        wall = time.perf_counter() - t0
+        return self._finish(wall)
+
+    def advance(self, n_steps: int) -> None:
+        """Advance ``n_steps`` without finishing the run (segmented use);
+        crash faults recover exactly as in :meth:`run`."""
+        if not self._prepared:
+            self.prepare()
+        target = self.step_index + n_steps
+        with self._contexts():
+            while self.step_index < target:
+                try:
+                    self._step_once()
+                except RankCrash as crash:
+                    self._recover(crash)
+
+    def _step_once(self) -> None:
+        i = self.step_index
+        if self.machine is not None:
+            # the machine owns fault stepping (incl. the crash raise)
+            self.rank_states = self.machine.step(self.rank_states)
+        else:
+            if self.injector is not None:
+                self.injector.begin_step(i)
+                crashed = self.injector.crash_rank(i)
+                if crashed is not None:
+                    raise RankCrash(rank=crashed, step=i)
+            if self.runner is not None:
+                self.state = self.runner.step(self.state)
+            else:
+                self.state = self.model.step(self.state)
+        self.step_index = i + 1
+        if self.history is not None:
+            self.history.maybe_save(self.gather())
+        if self.checkpoints is not None and self.checkpoints.due(self.step_index):
+            self.checkpoints.save(self.step_index, self._live_states())
+
+    def _live_states(self) -> list[State]:
+        return (self.rank_states if self.rank_states is not None
+                else [self.state])
+
+    # --------------------------------------------------------- recovery
+    def _recover(self, crash: RankCrash) -> None:
+        """Checkpoint-restart after a rank crash: reload the newest
+        consistent snapshot (or the initial state when none exists) and
+        rewind the step counter; the re-run is bit-identical to an
+        uninterrupted one because the snapshot holds full halos."""
+        t0 = time.perf_counter()
+        with span("recovery", cat="resilience", rank=crash.rank,
+                  step=crash.step):
+            if (self.checkpoints is not None
+                    and self.checkpoints.latest_step() is not None):
+                self._restore(self.checkpoints.load(self._grids()))
+            else:
+                # no checkpoint yet: cold restart from the initial state
+                self._restore_states(
+                    [st.copy() for st in self._initial]
+                    if isinstance(self._initial, list)
+                    else self._initial.copy(), step=0)
+        dt_wall = time.perf_counter() - t0
+        self.recoveries += 1
+        self.recovery_wall_s += dt_wall
+        if self.session is not None:
+            m = self.session.metrics
+            m.counter("resilience.recoveries").inc()
+            m.counter("resilience.recovery_wall_s").inc(dt_wall)
+
+    def _restore(self, ckpt) -> None:
+        states = ckpt.states if self.machine is not None else ckpt.states[0]
+        self._restore_states(states, step=ckpt.step)
+
+    def _restore_states(self, states, step: int) -> None:
+        if self.machine is not None:
+            self.rank_states = list(states)
+            self.machine.step_index = step
+        else:
+            self.state = states
+            if self.runner is not None:
+                self.runner.sync_device(self.state)
+        self.step_index = step
+
+    # ----------------------------------------------------------- output
+    def gather(self) -> State:
+        """The current global state (multigpu: gathered, halos refilled).
+        Also synced onto ``case.state`` so workload helper methods
+        (``snapshot``, ``perturbation_ke``, ...) see the latest fields."""
+        if self.machine is not None:
+            st = self.machine.gather_state(self.rank_states)
+            fill_halos_state(st)
+        else:
+            st = self.state
+        if self.case is not None:
+            self.case.state = st
+        return st
+
+    def _finish(self, wall: float) -> RunResult:
+        state = self.gather()
+        if self.case is not None:
+            self.case.state = state
+        if self.runner is not None:
+            self.runner.download(state)
+        exchanger = self.machine.exchanger if self.machine is not None else None
+        if self.session is not None:
+            sess = self.session
+            if self.machine is not None:
+                for r, device in enumerate(self.machine.devices or []):
+                    sess.collect_device(device, rank=r)
+                sess.collect_comm(self.machine.comm)
+            elif self.runner is not None:
+                sess.collect_device(self.runner.device, rank=0)
+            m = sess.metrics
+            if self.injector is not None:
+                for kind, n in self.injector.counts.items():
+                    m.counter(f"resilience.faults.{kind}").inc(n)
+            if exchanger is not None:
+                m.gauge("resilience.recovery_modeled_s").set(
+                    exchanger.stats.recovery_s)
+            m.gauge("resilience.recovery_wall_s_total").set(
+                self.recovery_wall_s)
+            sess.finalize(steps=max(1, self.steps_done))
+        if self.history is not None:
+            self.history.close()
+        comm = self.machine.comm if self.machine is not None else None
+        return RunResult(
+            spec=self.spec,
+            state=state,
+            diagnostics=self.model.diagnostics(state),
+            steps_done=self.steps_done,
+            wall_time=wall,
+            session=self.session,
+            metrics=(self.session.metrics.as_dict()
+                     if self.session is not None else None),
+            fault_log=list(self.injector.fired) if self.injector else [],
+            retry_stats=exchanger.stats if exchanger is not None else None,
+            recoveries=self.recoveries,
+            recovery_wall_s=self.recovery_wall_s,
+            checkpoints_written=(self.checkpoints.writes
+                                 if self.checkpoints else 0),
+            resumed_from=self.resumed_from,
+            halo_messages=comm.stats.messages if comm is not None else 0,
+            halo_bytes=comm.stats.bytes_total if comm is not None else 0,
+        )
+
+    @property
+    def steps_done(self) -> int:
+        return self.step_index

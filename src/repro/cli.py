@@ -2,23 +2,24 @@
 
 Commands
 --------
-``run``      integrate a workload (mountain-wave / warm-bubble / real-case),
-             optionally decomposed and/or with a history file; ``--trace``
-             writes a Chrome/Perfetto trace, ``--metrics`` prints the run
-             metrics, ``--profile`` prints the phase breakdown
+``run``      integrate a workload (mountain-wave / warm-bubble / real-case /
+             shear-layer), optionally decomposed and/or with a history file;
+             ``--trace`` writes a Chrome/Perfetto trace, ``--metrics`` prints
+             the run metrics, ``--profile`` prints the phase breakdown;
+             ``--faults`` / ``--checkpoint-every`` / ``--resume`` exercise
+             the resilience layer (docs/RESILIENCE.md)
 ``trace``    replay a workload under tracing and write the trace artifacts
              (Chrome Trace JSON + optional JSONL) with a text summary
 ``bench``    print one of the paper-reproduction tables (fig4, roofline,
              fig9, fig10, fig11, table1, projection)
 ``info``     device specs and calibration anchors
 
-The CLI is a thin veneer over the public API; everything it does is shown
-in examples/ as library code.
+The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
+does is shown in examples/ as library code.
 """
 from __future__ import annotations
 
 import argparse
-import contextlib
 import sys
 
 import numpy as np
@@ -34,13 +35,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="integrate a workload")
-    run.add_argument("workload",
-                     choices=["mountain-wave", "warm-bubble", "real-case"])
+    run.add_argument("workload", nargs="?", default="warm-bubble",
+                     choices=["mountain-wave", "warm-bubble", "real-case",
+                              "shear-layer"])
     run.add_argument("--nx", type=int, default=None)
     run.add_argument("--ny", type=int, default=None)
     run.add_argument("--nz", type=int, default=None)
     run.add_argument("--steps", type=int, default=50)
     run.add_argument("--dt", type=float, default=None)
+    run.add_argument("--backend", default="auto",
+                     choices=["auto", "cpu", "gpu", "multigpu"],
+                     help="execution backend (auto: multigpu when --ranks "
+                          "is given, gpu when traced, else cpu)")
     run.add_argument("--ranks", type=str, default=None, metavar="PXxPY",
                      help="decompose, e.g. 2x3 (verifies against single-domain)")
     run.add_argument("--history", type=str, default=None,
@@ -62,11 +68,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "report after integration")
     run.add_argument("--summary", action="store_true",
                      help="print the trace summary (implies a session)")
+    run.add_argument("--faults", type=str, default=None, metavar="PLAN",
+                     help="fault-injection plan: 'demo', 'random:SEED', or "
+                          "a comma list like drop@1,crash@3:r2 "
+                          "(see docs/RESILIENCE.md)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                     help="checkpoint the run state every K long steps")
+    run.add_argument("--checkpoint-dir", type=str, default=None,
+                     help="checkpoint directory (default: 'checkpoints' "
+                          "when checkpointing or resuming)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the latest checkpoint in the "
+                          "checkpoint directory (--steps is the absolute "
+                          "target step)")
 
     tr = sub.add_parser(
         "trace", help="replay a workload under tracing (run + artifacts)")
-    tr.add_argument("workload",
-                    choices=["mountain-wave", "warm-bubble", "real-case"])
+    tr.add_argument("workload", nargs="?", default="warm-bubble",
+                    choices=["mountain-wave", "warm-bubble", "real-case",
+                             "shear-layer"])
     tr.add_argument("-o", "--output", default="trace.json",
                     help="Chrome Trace Format output path")
     tr.add_argument("--jsonl", type=str, default=None,
@@ -96,134 +116,91 @@ def build_parser() -> argparse.ArgumentParser:
 
 # --------------------------------------------------------------------- run
 def _make_case(args):
-    from .workloads.mountain_wave import make_mountain_wave_case
-    from .workloads.real_case import make_real_case
-    from .workloads.warm_bubble import make_warm_bubble_case
+    """Deprecated: case construction now lives in
+    :func:`repro.api.make_case`; this shim remains only for code that
+    imported it from the CLI."""
+    import warnings
 
-    kw = {}
-    for name in ("nx", "ny", "nz", "dt"):
-        v = getattr(args, name)
-        if v is not None:
-            kw[name] = v
-    if args.workload == "mountain-wave":
-        return make_mountain_wave_case(**kw)
-    if args.workload == "warm-bubble":
-        return make_warm_bubble_case(**kw)
-    return make_real_case(**kw)
+    warnings.warn(
+        "repro.cli._make_case is deprecated; use repro.api.make_case "
+        "(or drive runs through repro.api.Experiment)",
+        DeprecationWarning, stacklevel=2)
+    from .api import make_case
+
+    return make_case(args.workload, nx=args.nx, ny=args.ny, nz=args.nz,
+                     dt=args.dt)
+
+
+def _spec_from_args(args) -> "RunSpec":
+    from .api import RunSpec
+
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if ckpt_dir is None and (getattr(args, "checkpoint_every", 0)
+                             or getattr(args, "resume", False)):
+        ckpt_dir = "checkpoints"
+    return RunSpec(
+        workload=args.workload,
+        steps=args.steps,
+        nx=args.nx, ny=args.ny, nz=args.nz, dt=args.dt,
+        backend=getattr(args, "backend", "auto"),
+        ranks=args.ranks or None,
+        ice=args.ice,
+        trace_path=getattr(args, "trace", None),
+        trace_jsonl=getattr(args, "trace_jsonl", None),
+        metrics=getattr(args, "metrics", False),
+        profile=getattr(args, "profile", False),
+        summary=getattr(args, "summary", False),
+        history_path=getattr(args, "history", None),
+        history_every=getattr(args, "history_every", 60.0),
+        faults=getattr(args, "faults", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        checkpoint_dir=ckpt_dir,
+        resume=getattr(args, "resume", False),
+    )
 
 
 def _cmd_run(args) -> int:
-    from .dist.multigpu import MultiGpuAsuca
-    from .history import HistoryWriter
+    from .api import Experiment
 
-    case = _make_case(args)
-    model, state, grid = case.model, case.state, case.grid
-    if args.ice:
-        model.config.ice_enabled = True
-        model.config.physics_enabled = True
-    print(f"{args.workload}: {grid.nx}x{grid.ny}x{grid.nz}, "
-          f"dt={model.config.dynamics.dt}s, {args.steps} steps")
+    exp = Experiment(_spec_from_args(args)).prepare()
+    grid = exp.grid
+    print(f"{exp.spec.workload}: {grid.nx}x{grid.ny}x{grid.nz}, "
+          f"dt={exp.model.config.dynamics.dt}s, {exp.spec.steps} steps")
+    if exp.resumed_from is not None:
+        print(f"resumed from checkpoint at step {exp.resumed_from}")
+    result = exp.run()
+    state = result.state
 
-    trace_path = getattr(args, "trace", None)
-    jsonl_path = getattr(args, "trace_jsonl", None)
-    want_metrics = getattr(args, "metrics", False)
-    want_summary = getattr(args, "summary", False)
-    session = None
-    if trace_path or jsonl_path or want_metrics or want_summary:
-        from .obs import TraceSession
-
-        session = TraceSession(name=args.workload)
-    timer = None
-    if getattr(args, "profile", False):
-        from .profiling import PhaseTimer
-
-        timer = PhaseTimer()
-
-    hist = None
-    if args.history:
-        hist = HistoryWriter(grid, args.history,
-                             every_seconds=args.history_every)
-        hist.save(state)
-
-    machine = runner = None
-    with contextlib.ExitStack() as stack:
-        if session is not None:
-            from .obs import use_session
-
-            stack.enter_context(use_session(session))
-        if timer is not None:
-            from .profiling import use_timer
-
-            stack.enter_context(use_timer(timer))
-
-        if args.ranks:
-            px, py = (int(x) for x in args.ranks.lower().split("x"))
-            machine = MultiGpuAsuca(grid, case.ref, px, py, model.config,
-                                    relaxation=getattr(model, "relaxation", None))
-            if session is not None:
-                machine.attach_devices()
-            rank_states = machine.scatter_state(state)
-            machine.exchange_all(rank_states, None)
-            for i in range(args.steps):
-                rank_states = machine.step(rank_states)
-                if hist and (i + 1) % 10 == 0:
-                    hist.maybe_save(machine.gather_state(rank_states))
-            state = machine.gather_state(rank_states)
-            from .core.boundary import fill_halos_state
-
-            fill_halos_state(state)
-            stats = machine.comm.stats
-            print(f"ranks {px}x{py}: {stats.messages} messages, "
-                  f"{stats.bytes_total / 1e6:.1f} MB halo traffic")
-        elif session is not None:
-            # traced single-domain runs go through the virtual GPU so the
-            # trace carries kernel/copy tracks (same arithmetic, Fig. 1 flow)
-            from .gpu.runtime import GpuAsucaRunner
-
-            runner = GpuAsucaRunner(model)
-            runner.upload(state)
-            for i in range(args.steps):
-                state = runner.step(state)
-                if hist:
-                    hist.maybe_save(state)
-            runner.download(state)
-        else:
-            for i in range(args.steps):
-                state = model.step(state)
-                if hist:
-                    hist.maybe_save(state)
-
-    if session is not None:
-        if machine is not None:
-            for r, device in enumerate(machine.devices or []):
-                session.collect_device(device, rank=r)
-            session.collect_comm(machine.comm)
-        elif runner is not None:
-            session.collect_device(runner.device, rank=0)
-        session.finalize(steps=args.steps)
+    if exp.spec.backend == "multigpu":
+        px, py = exp.spec.ranks
+        print(f"ranks {px}x{py}: {result.halo_messages} messages, "
+              f"{result.halo_bytes / 1e6:.1f} MB halo traffic")
+    if result.session is not None:
         from .obs import summary_text, write_chrome_trace, write_jsonl
 
-        if trace_path:
-            print(f"trace: {write_chrome_trace(session, trace_path)}")
-        if jsonl_path:
-            print(f"trace events: {write_jsonl(session, jsonl_path)}")
-        if want_summary:
-            print(summary_text(session))
-        elif want_metrics:
-            print(session.metrics.report())
-    if timer is not None:
-        print(timer.report())
+        if exp.spec.trace_path:
+            print(f"trace: {write_chrome_trace(result.session, exp.spec.trace_path)}")
+        if exp.spec.trace_jsonl:
+            print(f"trace events: {write_jsonl(result.session, exp.spec.trace_jsonl)}")
+        if exp.spec.summary:
+            print(summary_text(result.session))
+        elif exp.spec.metrics:
+            print(result.session.metrics.report())
+    if exp.timer is not None:
+        print(exp.timer.report())
+    if result.fault_log or result.recoveries or result.checkpoints_written:
+        print(f"resilience: {result.resilience_report()}")
 
-    d = model.diagnostics(state)
+    d = result.diagnostics
     print(f"t={d.time:.0f}s  max|w|={d.max_w:.3f} m/s  "
           f"max wind={d.max_wind:.2f} m/s  "
           f"theta {d.min_theta:.1f}..{d.max_theta:.1f} K")
     if state.precip_accum is not None and float(np.max(state.precip_accum)) > 0:
         print(f"max accumulated precipitation: "
               f"{float(np.max(state.precip_accum)):.3f} mm")
-    if hist:
-        path = hist.close()
-        print(f"history: {hist.n_snapshots} snapshots -> {path}")
+    if exp.history is not None:
+        print(f"history: {exp.history.n_snapshots} snapshots -> "
+              f"{exp.history.path}")
     return 0
 
 
@@ -234,9 +211,10 @@ def _cmd_trace(args) -> int:
     run_args = argparse.Namespace(
         workload=args.workload, nx=args.nx, ny=args.ny, nz=args.nz,
         steps=args.steps, dt=args.dt, ranks=args.ranks, ice=args.ice,
-        history=None, history_every=60.0,
+        backend="auto", history=None, history_every=60.0,
         trace=args.output, trace_jsonl=args.jsonl,
         metrics=True, profile=False, summary=True,
+        faults=None, checkpoint_every=0, checkpoint_dir=None, resume=False,
     )
     return _cmd_run(run_args)
 

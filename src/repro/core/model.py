@@ -154,12 +154,23 @@ class AsucaModel:
         n_steps: int,
         *,
         callback: Callable[[int, State], None] | None = None,
+        checkpoint=None,
+        start_step: int = 0,
     ) -> State:
-        """Advance ``n_steps`` long steps."""
+        """Advance ``n_steps`` long steps.
+
+        ``checkpoint`` (a
+        :class:`~repro.resilience.checkpoint.CheckpointManager`) snapshots
+        the state at the manager's cadence, keyed by the absolute step
+        counter ``start_step + i + 1`` — restart a run bit-identically by
+        loading the latest checkpoint and passing its step here.
+        """
         for i in range(n_steps):
             state = self.step(state)
             if callback is not None:
                 callback(i, state)
+            if checkpoint is not None and checkpoint.due(start_step + i + 1):
+                checkpoint.save(start_step + i + 1, state)
         return state
 
     # ------------------------------------------------------------- output

@@ -24,6 +24,7 @@ from ..core.grid import Grid
 
 __all__ = [
     "Subdomain",
+    "Topology",
     "decompose",
     "table1_mesh",
     "TABLE1_CONFIGS",
@@ -81,6 +82,49 @@ class Subdomain:
         return (f"Subdomain(rank={self.rank}, ({self.cx},{self.cy}) of "
                 f"{self.px}x{self.py}, x0={self.x0}, y0={self.y0}, "
                 f"{self.nx}x{self.ny})")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Process-grid shape plus the per-axis boundary treatment.
+
+    This is the *single* owner of the periodic-vs-open decision for a
+    decomposed run: build it once from the global grid's periodicity
+    flags (:meth:`from_grid`) and pass it to every consumer
+    (:class:`~repro.dist.halo.HaloExchanger`,
+    :class:`~repro.dist.multigpu.MultiGpuAsuca`).  Edge ranks of a
+    non-periodic axis have no neighbor there and apply the open
+    (zero-gradient) fill instead of wrapping — previously that choice
+    was re-derived independently in ``halo.py`` and ``multigpu.py`` and
+    could desynchronize.
+    """
+
+    px: int
+    py: int
+    periodic_x: bool
+    periodic_y: bool
+
+    @classmethod
+    def from_grid(cls, grid: Grid, px: int, py: int) -> "Topology":
+        """The canonical constructor: boundary treatment comes from the
+        global grid's periodicity flags, per axis."""
+        return cls(px=px, py=py, periodic_x=grid.periodic_x,
+                   periodic_y=grid.periodic_y)
+
+    def periodic(self, axis: int) -> bool:
+        """Does ``axis`` (0 = x, 1 = y) wrap at the global edge?"""
+        return self.periodic_x if axis == 0 else self.periodic_y
+
+    def neighbor(self, sub: Subdomain, dx: int, dy: int) -> int | None:
+        """Rank at (cx+dx, cy+dy) from ``sub``, or None at an open edge."""
+        return sub.neighbor(dx, dy, self.periodic_x, self.periodic_y)
+
+    def axis_neighbor(self, sub: Subdomain, axis: int,
+                      direction: int) -> int | None:
+        """Neighbor one step along ``axis`` in ``direction`` (+1/-1)."""
+        if axis == 0:
+            return self.neighbor(sub, direction, 0)
+        return self.neighbor(sub, 0, direction)
 
 
 def decompose(

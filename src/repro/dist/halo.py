@@ -13,15 +13,36 @@ Two lockstep phases per exchange:
 The strip geometry mirrors :mod:`repro.core.boundary`'s periodic fills
 (including the staggered-face offsets), so a decomposed run reproduces the
 single-domain arithmetic bit for bit — asserted by
-tests/dist/test_multigpu_equivalence.py.  Ranks at a non-periodic global
-edge apply the open (zero-gradient) fill instead.
+tests/dist/test_multigpu_equivalence.py.  Whether an edge rank wraps or
+applies the open (zero-gradient) fill is decided per axis by the
+:class:`~repro.dist.decomposition.Topology` built from the global grid's
+periodicity flags — the single place that choice lives.
+
+Every directed message goes through :meth:`HaloExchanger._collect`, which
+recovers from the imperfect transport of a fault-injected
+:class:`~repro.dist.mpi_sim.SimComm` under a
+:class:`~repro.resilience.retry.RetryPolicy`: lost and corrupted frames
+are retransmitted by the sender after an exponential backoff, delayed
+frames are waited out (or charged a timeout when too late), and the
+modeled recovery time is accumulated in :class:`RetryStats` so the
+distributed timeline reflects it.
 """
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
 from ..core.state import State
-from .decomposition import Subdomain
+from ..obs.trace import active_session
+from ..resilience.retry import (
+    HaloMessageError,
+    MessageDelayedError,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+)
+from .decomposition import Subdomain, Topology
 from .mpi_sim import SimComm
 
 __all__ = ["HaloExchanger", "STAGGER"]
@@ -41,20 +62,62 @@ def _stagger_of(name: str) -> tuple[bool, bool]:
 
 
 class HaloExchanger:
-    """Performs field exchanges for every rank of a lockstep ensemble."""
+    """Performs field exchanges for every rank of a lockstep ensemble.
+
+    Parameters
+    ----------
+    comm, subdomains
+        the transport and the ranks it connects.
+    topology
+        the per-axis boundary treatment; build it with
+        :meth:`Topology.from_grid`.  (The legacy ``periodic_x=`` /
+        ``periodic_y=`` keywords still work but are deprecated.)
+    retry
+        :class:`~repro.resilience.retry.RetryPolicy` governing recovery
+        from transport faults; defaults to a fresh policy, so a
+        fault-injected exchange self-heals out of the box.
+    """
 
     def __init__(
         self,
         comm: SimComm,
         subdomains: list[Subdomain],
+        topology: Topology | None = None,
         *,
-        periodic_x: bool,
-        periodic_y: bool,
+        periodic_x: bool | None = None,
+        periodic_y: bool | None = None,
+        retry: RetryPolicy | None = None,
     ):
+        if topology is None:
+            if periodic_x is None or periodic_y is None:
+                raise TypeError(
+                    "HaloExchanger needs a Topology (or both legacy "
+                    "periodic_x/periodic_y flags)")
+            warnings.warn(
+                "passing periodic_x=/periodic_y= to HaloExchanger is "
+                "deprecated; build a repro.dist.decomposition.Topology "
+                "(e.g. Topology.from_grid(grid, px, py)) instead",
+                DeprecationWarning, stacklevel=2)
+            topology = Topology(px=subdomains[0].px, py=subdomains[0].py,
+                                periodic_x=bool(periodic_x),
+                                periodic_y=bool(periodic_y))
+        elif periodic_x is not None or periodic_y is not None:
+            raise TypeError("pass either a Topology or the legacy flags, "
+                            "not both")
         self.comm = comm
         self.subs = subdomains
-        self.periodic_x = periodic_x
-        self.periodic_y = periodic_y
+        self.topology = topology
+        self.retry = retry or RetryPolicy()
+        self.stats = RetryStats()
+
+    # ------------------------------------------------ legacy attributes
+    @property
+    def periodic_x(self) -> bool:
+        return self.topology.periodic_x
+
+    @property
+    def periodic_y(self) -> bool:
+        return self.topology.periodic_y
 
     # ------------------------------------------------------------ public
     def exchange(self, states: list[State], names: list[str] | None) -> None:
@@ -69,43 +132,48 @@ class HaloExchanger:
     # ----------------------------------------------------------- helpers
     def _exchange_axis(self, states: list[State], name: str, axis: int) -> None:
         stag = _stagger_of(name)[axis]
-        periodic = self.periodic_x if axis == 0 else self.periodic_y
         h = states[0].grid.halo
 
-        # post
+        # post — and remember how to rebuild each strip so a lost or
+        # corrupted frame can be retransmitted by its sender
+        senders: dict[tuple[int, int, object], tuple] = {}
         for sub, st in zip(self.subs, states):
             arr = st.get(name)
             n_loc = sub.nx if axis == 0 else sub.ny
-            lo_nb = self._neighbor(sub, axis, -1)
-            hi_nb = self._neighbor(sub, axis, +1)
+            lo_nb = self.topology.axis_neighbor(sub, axis, -1)
+            hi_nb = self.topology.axis_neighbor(sub, axis, +1)
             if hi_nb is not None:
                 # data travelling toward +axis fills the neighbor's low halo:
                 # the last h interior cells/faces (indices [n, n+h))
-                strip = _take(arr, axis, n_loc, n_loc + h)
-                self.comm.post(sub.rank, hi_nb, (name, axis, "+"), strip)
+                tag = (name, axis, "+")
+                senders[(sub.rank, hi_nb, tag)] = (arr, n_loc, n_loc + h)
+                self._post(sub.rank, hi_nb, tag, senders)
             if lo_nb is not None:
                 # toward -axis fills the neighbor's high halo: first h
                 # interior cells (staggered: faces [h+1, 2h+1))
+                tag = (name, axis, "-")
                 if stag:
-                    strip = _take(arr, axis, h + 1, 2 * h + 1)
+                    senders[(sub.rank, lo_nb, tag)] = (arr, h + 1, 2 * h + 1)
                 else:
-                    strip = _take(arr, axis, h, 2 * h)
-                self.comm.post(sub.rank, lo_nb, (name, axis, "-"), strip)
+                    senders[(sub.rank, lo_nb, tag)] = (arr, h, 2 * h)
+                self._post(sub.rank, lo_nb, tag, senders)
 
         # collect / open-edge fill
         for sub, st in zip(self.subs, states):
             arr = st.get(name)
             n_loc = sub.nx if axis == 0 else sub.ny
-            lo_nb = self._neighbor(sub, axis, -1)
-            hi_nb = self._neighbor(sub, axis, +1)
+            lo_nb = self.topology.axis_neighbor(sub, axis, -1)
+            hi_nb = self.topology.axis_neighbor(sub, axis, +1)
             if lo_nb is not None:
-                data = self.comm.collect(lo_nb, sub.rank, (name, axis, "+"))
+                data = self._collect(lo_nb, sub.rank, (name, axis, "+"),
+                                     senders)
                 _put(arr, axis, 0, h, data)
             else:
                 edge = _take(arr, axis, h, h + 1)
                 _put(arr, axis, 0, h, np.broadcast_to(edge, _take(arr, axis, 0, h).shape))
             if hi_nb is not None:
-                data = self.comm.collect(hi_nb, sub.rank, (name, axis, "-"))
+                data = self._collect(hi_nb, sub.rank, (name, axis, "-"),
+                                     senders)
                 if stag:
                     _put(arr, axis, h + n_loc + 1, arr.shape[axis], data)
                 else:
@@ -120,10 +188,72 @@ class HaloExchanger:
                 _put(arr, axis, arr.shape[axis] - tgt.shape[axis], arr.shape[axis],
                      np.broadcast_to(edge, tgt.shape))
 
-    def _neighbor(self, sub: Subdomain, axis: int, direction: int) -> int | None:
-        if axis == 0:
-            return sub.neighbor(direction, 0, self.periodic_x, self.periodic_y)
-        return sub.neighbor(0, direction, self.periodic_x, self.periodic_y)
+    # ------------------------------------------------- faulty transport
+    def _post(self, src: int, dst: int, tag: object, senders: dict) -> None:
+        arr, lo, hi = senders[(src, dst, tag)]
+        axis = tag[1]
+        self.comm.post(src, dst, tag, _take(arr, axis, lo, hi))
+
+    def _collect(self, src: int, dst: int, tag: object,
+                 senders: dict) -> np.ndarray:
+        """Receive one message, recovering from transport faults under
+        the retry policy; raises
+        :class:`~repro.resilience.retry.RetryExhaustedError` when the
+        fault outlasts the policy."""
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return self.comm.collect(src, dst, tag)
+            except MessageDelayedError as err:
+                if err.delay <= policy.timeout:
+                    # late but within the timeout: wait it out (the data
+                    # is in the mailbox; the next collect returns it)
+                    self.stats.waits += 1
+                    self.stats.wait_s += err.delay
+                    self.stats.count("delay")
+                    self._note(err, retried=False)
+                    continue
+                # too late: the receiver times out and charges a retry
+                self.stats.timeouts += 1
+                backoff = policy.timeout + policy.backoff(attempt)
+                attempt = self._charge_retry(err, attempt, backoff, "timeout")
+            except HaloMessageError as err:
+                # lost or corrupt: the sender must retransmit
+                backoff = policy.backoff(attempt)
+                attempt = self._charge_retry(err, attempt, backoff,
+                                             type(err).__name__)
+                self._post(src, dst, tag, senders)
+                self.stats.retransmits += 1
+
+    def _charge_retry(self, err: HaloMessageError, attempt: int,
+                      backoff: float, kind: str) -> int:
+        if attempt >= self.retry.max_retries:
+            raise RetryExhaustedError(
+                f"halo message {err.tag!r} from rank {err.src} to rank "
+                f"{err.dst} failed {attempt + 1} times; giving up",
+                attempts=attempt + 1, last_error=err) from err
+        self.stats.retries += 1
+        self.stats.backoff_s += backoff
+        self.stats.count(kind)
+        self._note(err, retried=True, backoff=backoff)
+        return attempt + 1
+
+    @staticmethod
+    def _note(err: HaloMessageError, *, retried: bool,
+              backoff: float = 0.0) -> None:
+        sess = active_session()
+        if sess is None:
+            return
+        m = sess.metrics
+        if retried:
+            m.counter("resilience.halo_retries").inc()
+            m.counter("resilience.backoff_s").inc(backoff)
+        else:
+            m.counter("resilience.halo_waits").inc()
+        sess.record_instant(
+            f"halo_{'retry' if retried else 'wait'}", cat="resilience",
+            args={"src": err.src, "dst": err.dst, "tag": str(err.tag)})
 
 
 def _take(arr: np.ndarray, axis: int, lo: int, hi: int) -> np.ndarray:

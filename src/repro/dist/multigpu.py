@@ -30,7 +30,8 @@ from ..core.state import State
 from ..obs.trace import span
 from ..physics.ice import cold_rain_step
 from ..physics.kessler import kessler_step
-from .decomposition import Subdomain, decompose, make_subgrid
+from ..resilience.faults import RankCrash
+from .decomposition import Subdomain, Topology, decompose, make_subgrid
 from .halo import STAGGER, HaloExchanger
 from .mpi_sim import SimComm
 
@@ -76,9 +77,17 @@ class MultiGpuAsuca:
     """2-D-decomposed, lockstep multi-rank driver.
 
     Parameters mirror :class:`~repro.core.model.AsucaModel`, plus the
-    process-grid shape ``(px, py)``.  The global grid's periodicity flags
-    decide whether edge ranks wrap (periodic benchmark) or apply open
-    fills (real-data case).
+    process-grid shape ``(px, py)``.  The per-axis open-vs-periodic edge
+    treatment lives in a single :class:`~repro.dist.decomposition.Topology`
+    built from the global grid's periodicity flags; the halo exchanger
+    and everything else consult it rather than re-deriving the choice.
+
+    ``fault_injector`` (a :class:`~repro.resilience.faults.FaultInjector`)
+    makes the transport and the ranks imperfect: message faults surface
+    through the retrying halo exchange (governed by ``retry``), and a
+    scheduled rank crash raises
+    :class:`~repro.resilience.faults.RankCrash` at the top of the step —
+    recovered by checkpoint-restart in :class:`repro.api.Experiment`.
     """
 
     def __init__(
@@ -89,6 +98,9 @@ class MultiGpuAsuca:
         py: int,
         config: ModelConfig | None = None,
         relaxation: RelaxationBC | None = None,
+        *,
+        fault_injector=None,
+        retry=None,
     ):
         self.global_grid = global_grid
         self.global_ref = global_ref
@@ -97,16 +109,20 @@ class MultiGpuAsuca:
         #: with globally sliced weights/targets
         self.relaxation = relaxation
         self.px, self.py = px, py
+        #: the one place the open-vs-periodic edge decision is made
+        self.topology = Topology.from_grid(global_grid, px, py)
+        self.faults = fault_injector
         self.subs = decompose(global_grid.nx, global_grid.ny, px, py,
                               min_cells=global_grid.halo)
-        self.comm = SimComm(len(self.subs))
-        self.exchanger = HaloExchanger(
-            self.comm, self.subs,
-            periodic_x=global_grid.periodic_x,
-            periodic_y=global_grid.periodic_y,
-        )
+        self.comm = SimComm(len(self.subs), fault_injector=fault_injector)
+        self.exchanger = HaloExchanger(self.comm, self.subs, self.topology,
+                                       retry=retry)
+        #: completed long steps (the fault plan and checkpoints key on it)
+        self.step_index = 0
         #: per-rank virtual GPUs (telemetry path); see :meth:`attach_devices`
         self.devices: list | None = None
+        #: exchanger recovery seconds already charged to the devices
+        self._backoff_charged = 0.0
         self.ranks: list[_Rank] = []
         for sub in self.subs:
             grid = make_subgrid(global_grid, sub)
@@ -148,9 +164,10 @@ class MultiGpuAsuca:
         self._dev_kernels = ASUCA_KERNELS
         self.devices = [
             GPUDevice(spec or TESLA_S1070, copy_engines=copy_engines,
-                      label=f"rank{r}")
+                      label=f"rank{r}", fault_injector=self.faults)
             for r in range(len(self.subs))
         ]
+        self._backoff_charged = 0.0
         return self.devices
 
     def _charge_devices(self, by_pair_before: dict) -> None:
@@ -180,6 +197,16 @@ class MultiGpuAsuca:
                 f"halo_h2d:{src}->{dst}", "h2d",
                 self.devices[dst].default_stream, t_h2d,
                 bytes_moved=delta, tag="halo")
+        # retry/backoff waits stall the host-side network leg: charge the
+        # step's newly accrued recovery time to every rank's 'mpi' engine
+        # so overlap numbers reflect the cost of the recovered faults
+        recovery = self.exchanger.stats.recovery_s - self._backoff_charged
+        if recovery > 0:
+            for device in self.devices:
+                device.schedule("halo_recovery", "mpi",
+                                device.default_stream, recovery,
+                                tag="resilience")
+            self._backoff_charged += recovery
 
     # -------------------------------------------------------- scatter/gather
     def scatter_state(self, global_state: State) -> list[State]:
@@ -242,7 +269,16 @@ class MultiGpuAsuca:
             self.exchanger.exchange(states, names)
 
     def step(self, states: list[State]) -> list[State]:
-        """One long step across all ranks, lockstep."""
+        """One long step across all ranks, lockstep.
+
+        Raises :class:`~repro.resilience.faults.RankCrash` before any
+        work when the fault plan kills a rank at this step.
+        """
+        if self.faults is not None:
+            self.faults.begin_step(self.step_index)
+            crashed = self.faults.crash_rank(self.step_index)
+            if crashed is not None:
+                raise RankCrash(rank=crashed, step=self.step_index)
         by_pair_before = (dict(self.comm.stats.by_pair)
                           if self.devices is not None else {})
         with span("rk3_long_step", cat="phase"):
@@ -286,11 +322,18 @@ class MultiGpuAsuca:
                                                  rank.sub.y0)
         if self.devices is not None:
             self._charge_devices(by_pair_before)
+        self.step_index += 1
         return new_states
 
-    def run(self, states: list[State], n_steps: int) -> list[State]:
+    def run(self, states: list[State], n_steps: int, *,
+            checkpoint=None) -> list[State]:
+        """Advance ``n_steps`` long steps; with a
+        :class:`~repro.resilience.checkpoint.CheckpointManager` the
+        per-rank states are snapshotted at the manager's cadence."""
         for _ in range(n_steps):
             states = self.step(states)
+            if checkpoint is not None and checkpoint.due(self.step_index):
+                checkpoint.save(self.step_index, states)
         return states
 
     # ---------------------------------------------------------- diagnostics

@@ -79,11 +79,15 @@ class GPUDevice:
     """
 
     def __init__(self, spec: DeviceSpec = TESLA_S1070, *, copy_engines: int = 1,
-                 label: str = "gpu0"):
+                 label: str = "gpu0", fault_injector=None):
         self.spec = spec
         #: track identity for telemetry (e.g. ``rank3``); collectors use
         #: it to stamp this device's ops in merged multi-rank traces
         self.label = label
+        #: optional :class:`~repro.resilience.faults.FaultInjector`; a
+        #: scheduled PCIE event makes the next H2D/D2H copy fail once and
+        #: be redone, charging the retry to this device's timeline
+        self.fault_injector = fault_injector
         # the 'mpi' engine stands for the host-side network: MPI transfers
         # occupy it without blocking the GPU engines (paper Fig. 8)
         self._engines: dict[str, float] = {"compute": 0.0, "mpi": 0.0}
@@ -126,9 +130,35 @@ class GPUDevice:
         tag: str = "",
     ) -> Op:
         """Place an op on the timeline; returns it (its ``end`` is when a
-        subsequent dependent op may start)."""
+        subsequent dependent op may start).
+
+        A transient PCIe fault (see :attr:`fault_injector`) inserts a
+        same-duration ``[failed]`` attempt first; the real copy then
+        serializes behind it on the DMA engine, so the retry shows up in
+        the timeline and in the copy-time aggregates.
+        """
         if duration < 0:
             raise ValueError("negative duration")
+        if (self.fault_injector is not None and kind in ("h2d", "d2h")
+                and self.fault_injector.on_pcie(self.label)):
+            self._place(f"{name}[failed]", kind, stream, duration,
+                        flops=0.0, bytes_moved=bytes_moved, after=after,
+                        tag="pcie_retry")
+        return self._place(name, kind, stream, duration, flops=flops,
+                           bytes_moved=bytes_moved, after=after, tag=tag)
+
+    def _place(
+        self,
+        name: str,
+        kind: str,
+        stream: Stream,
+        duration: float,
+        *,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        after: Iterable[Event] = (),
+        tag: str = "",
+    ) -> Op:
         engine = self._engine_for(kind)
         start = max(
             stream.available_at,

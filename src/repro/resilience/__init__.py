@@ -1,0 +1,42 @@
+"""Resilience layer: fault injection, retry/backoff, checkpoint-restart.
+
+At the paper's production scale (528 GPUs advancing in lockstep for
+thousands of steps, Sec. V / Table I) a single dropped halo message or a
+dead rank stalls the whole weak-scaling run.  This subpackage gives the
+simulated cluster the machinery a production run needs:
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`, seedable schedules
+  of dropped/corrupted/delayed halo messages, transient PCIe copy
+  failures, and rank crashes at chosen steps, consumed at runtime by a
+  :class:`FaultInjector` plugged into :class:`~repro.dist.mpi_sim.SimComm`
+  and :class:`~repro.gpu.device.GPUDevice`;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (bounded retries
+  with exponential backoff and a delay timeout), the typed transport
+  errors, and the :class:`RetryStats` the halo exchanger accumulates;
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointManager`,
+  atomic on-disk snapshots of full single- or multi-rank model state that
+  restore *bit-identical* continuations.
+
+The unified run facade :class:`repro.api.Experiment` drives all three:
+``RunSpec(faults=..., checkpoint_every=...)`` yields a run that survives
+injected failures with a reported recovery overhead instead of silently
+diverging or crashing.
+"""
+from .checkpoint import Checkpoint, CheckpointManager
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultPlan, RankCrash
+from .retry import (
+    HaloMessageError,
+    MessageCorruptError,
+    MessageDelayedError,
+    MessageLostError,
+    RetryExhaustedError,
+    RetryPolicy,
+    RetryStats,
+)
+
+__all__ = [
+    "Checkpoint", "CheckpointManager",
+    "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "RankCrash",
+    "HaloMessageError", "MessageCorruptError", "MessageDelayedError",
+    "MessageLostError", "RetryExhaustedError", "RetryPolicy", "RetryStats",
+]

@@ -1,0 +1,220 @@
+"""Checkpoint/restart: atomic on-disk snapshots of full run state.
+
+A checkpoint stores, per rank, every prognostic array *including halos*
+(so no halo reconstruction is needed on restore — the continuation is
+bit-identical by construction), plus the step counter, model time,
+species list, accumulated precipitation, and an optional NumPy RNG
+state.  Multi-rank runs store all ranks in one archive; a single-domain
+run is the one-rank special case.
+
+Writes are atomic: the archive is written to a ``*.tmp`` sibling, fsynced
+and ``os.replace``d into place, and only then is the ``latest`` marker
+(itself replaced atomically) updated — a kill at any instant leaves
+either the previous consistent checkpoint set or the new one, never a
+torn file (tests/resilience/test_checkpoint.py).
+
+Checkpoints are taken at long-step boundaries only, where the RK3/HE-VI
+integrator holds no transient phase state; the manifest records this as
+``phase = "long_step_boundary"``.
+"""
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.grid import Grid
+from ..core.state import State
+from ..obs.trace import active_session, span
+
+__all__ = ["Checkpoint", "CheckpointManager"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """One restored checkpoint: per-rank states plus its bookkeeping."""
+
+    step: int
+    time: float
+    states: list[State]
+    path: pathlib.Path
+    meta: dict = field(default_factory=dict)
+    rng_state: dict | None = None
+
+
+class CheckpointManager:
+    """Writes and restores run checkpoints under one directory.
+
+    Parameters
+    ----------
+    directory
+        where ``ckpt-STEP.npz`` archives and the ``latest`` marker live.
+    every
+        checkpoint cadence in long steps (0 disables :meth:`due`).
+    keep
+        how many archives to retain; older ones are pruned after each
+        successful write (the marker is updated first, so pruning can
+        never remove the newest consistent checkpoint).
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, every: int = 0,
+                 keep: int = 2):
+        if every < 0:
+            raise ValueError("checkpoint cadence must be >= 0")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.directory = pathlib.Path(directory)
+        self.every = every
+        self.keep = keep
+        self.writes = 0
+        self.restores = 0
+
+    # -------------------------------------------------------------- paths
+    def path_for(self, step: int) -> pathlib.Path:
+        return self.directory / f"ckpt-{step:08d}.npz"
+
+    @property
+    def _marker(self) -> pathlib.Path:
+        return self.directory / "latest"
+
+    def due(self, step: int) -> bool:
+        """Is a checkpoint owed after completing long step ``step``?"""
+        return self.every > 0 and step > 0 and step % self.every == 0
+
+    # -------------------------------------------------------------- write
+    def save(self, step: int, states: "State | list[State]", *,
+             rng: np.random.Generator | None = None,
+             meta: dict | None = None) -> pathlib.Path:
+        """Atomically write one checkpoint; returns its path."""
+        if isinstance(states, State):
+            states = [states]
+        if not states:
+            raise ValueError("nothing to checkpoint")
+        with span("checkpoint_write", cat="resilience", step=step):
+            path = self._write(step, states, rng=rng, meta=meta or {})
+        self.writes += 1
+        sess = active_session()
+        if sess is not None:
+            sess.metrics.counter("checkpoint.writes").inc()
+            sess.metrics.counter("checkpoint.bytes").inc(
+                path.stat().st_size)
+        self._prune()
+        return path
+
+    def _write(self, step: int, states: list[State], *, rng, meta) -> pathlib.Path:
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "step": step,
+            "time": states[0].time,
+            "n_ranks": len(states),
+            "phase": "long_step_boundary",
+            **meta,
+        }
+        if rng is not None:
+            manifest["rng_state"] = rng.bit_generator.state
+        payload: dict[str, np.ndarray] = {
+            "manifest": np.frombuffer(
+                json.dumps(manifest).encode(), dtype=np.uint8),
+            "species": np.array(sorted(states[0].q), dtype="U8"),
+        }
+        for r, st in enumerate(states):
+            for name in st.prognostic_names():
+                payload[f"r{r}/{name}"] = st.get(name)
+            if st.precip_accum is not None:
+                payload[f"r{r}/precip_accum"] = st.precip_accum
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(step)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+        mtmp = self._marker.with_suffix(".tmp")
+        mtmp.write_text(f"{step}\n")
+        os.replace(mtmp, self._marker)
+        return path
+
+    def _prune(self) -> None:
+        archives = sorted(self.directory.glob("ckpt-*.npz"))
+        for old in archives[: max(0, len(archives) - self.keep)]:
+            old.unlink(missing_ok=True)
+
+    # --------------------------------------------------------------- read
+    def latest_step(self) -> int | None:
+        """Newest consistent checkpoint step, or None if there is none."""
+        try:
+            step = int(self._marker.read_text().strip())
+            if self.path_for(step).exists():
+                return step
+        except (OSError, ValueError):
+            pass
+        # marker missing/stale: fall back to scanning the archives
+        archives = sorted(self.directory.glob("ckpt-*.npz"))
+        if not archives:
+            return None
+        return int(archives[-1].stem.split("-")[1])
+
+    def load(self, grids: "Grid | list[Grid]",
+             step: int | None = None) -> Checkpoint:
+        """Restore the checkpoint at ``step`` (default: latest) onto the
+        given per-rank grids (a single grid restores a one-rank run)."""
+        if isinstance(grids, Grid):
+            grids = [grids]
+        if step is None:
+            step = self.latest_step()
+            if step is None:
+                raise FileNotFoundError(
+                    f"no checkpoint found under {self.directory}")
+        path = self.path_for(step)
+        with span("checkpoint_restore", cat="resilience", step=step):
+            ckpt = self._read(path, grids)
+        self.restores += 1
+        sess = active_session()
+        if sess is not None:
+            sess.metrics.counter("checkpoint.restores").inc()
+        return ckpt
+
+    def _read(self, path: pathlib.Path, grids: list[Grid]) -> Checkpoint:
+        with np.load(path) as z:
+            manifest = json.loads(bytes(z["manifest"]).decode())
+            if manifest["format_version"] != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint format "
+                    f"{manifest['format_version']}")
+            n_ranks = int(manifest["n_ranks"])
+            if n_ranks != len(grids):
+                raise ValueError(
+                    f"checkpoint holds {n_ranks} ranks, caller supplied "
+                    f"{len(grids)} grids")
+            species = [str(s) for s in z["species"]]
+            t = float(manifest["time"])
+            states = []
+            for r, grid in enumerate(grids):
+                fields = {}
+                for name, shape in (("rho", grid.shape_c),
+                                    ("rhou", grid.shape_u),
+                                    ("rhov", grid.shape_v),
+                                    ("rhow", grid.shape_w),
+                                    ("rhotheta", grid.shape_c)):
+                    arr = z[f"r{r}/{name}"]
+                    if arr.shape != shape:
+                        raise ValueError(
+                            f"rank {r} field {name} has shape {arr.shape}, "
+                            f"grid expects {shape}")
+                    fields[name] = arr.copy()
+                q = {name: z[f"r{r}/{name}"].copy() for name in species}
+                key = f"r{r}/precip_accum"
+                precip = z[key].copy() if key in z.files else None
+                states.append(State(grid=grid, q=q, time=t,
+                                    precip_accum=precip, **fields))
+        return Checkpoint(step=int(manifest["step"]), time=t, states=states,
+                          path=path, meta=manifest,
+                          rng_state=manifest.get("rng_state"))

@@ -1,0 +1,209 @@
+"""The RunSpec/Experiment facade, crash recovery, and the CLI surface."""
+import argparse
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment, RunSpec, make_case, parse_ranks
+from repro.resilience.faults import FaultPlan
+
+_SMALL = dict(nx=12, ny=12, nz=10)
+
+
+# ----------------------------------------------------------------- RunSpec
+class TestRunSpec:
+    def test_normalization_auto_backend(self):
+        assert RunSpec(**_SMALL).normalized().backend == "cpu"
+        assert RunSpec(summary=True, **_SMALL).normalized().backend == "gpu"
+        s = RunSpec(ranks="2x2", **_SMALL).normalized()
+        assert s.backend == "multigpu" and s.ranks == (2, 2)
+
+    def test_normalization_validates(self):
+        with pytest.raises(ValueError, match="multigpu"):
+            RunSpec(backend="multigpu").normalized()
+        with pytest.raises(ValueError, match="backend"):
+            RunSpec(backend="tpu").normalized()
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            RunSpec(checkpoint_every=5).normalized()
+        with pytest.raises(ValueError, match="steps"):
+            RunSpec(steps=-1).normalized()
+
+    def test_faults_parsed_to_plan(self):
+        s = RunSpec(faults="drop@1", **_SMALL).normalized()
+        assert isinstance(s.faults, FaultPlan)
+        assert len(s.faults) == 1
+
+    def test_parse_ranks(self):
+        assert parse_ranks(None) is None
+        assert parse_ranks("2x3") == (2, 3)
+        assert parse_ranks((4, 1)) == (4, 1)
+
+    def test_make_case_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_case("tornado")
+
+
+# -------------------------------------------------------------- Experiment
+class TestExperiment:
+    def test_cpu_backend_matches_direct_model(self):
+        result = Experiment(RunSpec(steps=3, **_SMALL)).run()
+        case = make_case("warm-bubble", **_SMALL)
+        ref = case.model.run(case.state, 3)
+        for name in ref.prognostic_names():
+            np.testing.assert_array_equal(result.state.get(name),
+                                          ref.get(name), err_msg=name)
+        assert result.steps_done == 3
+        assert result.recoveries == 0
+
+    def test_multigpu_backend_matches_cpu(self):
+        cpu = Experiment(RunSpec(steps=2, **_SMALL)).run()
+        mg = Experiment(RunSpec(steps=2, ranks=(2, 2), **_SMALL)).run()
+        g = mg.state.grid
+        np.testing.assert_allclose(g.interior(mg.state.rho),
+                                   g.interior(cpu.state.rho),
+                                   rtol=0, atol=1e-12)
+        assert mg.halo_messages > 0
+
+    def test_advance_and_gather_segmented(self):
+        exp = Experiment(RunSpec(steps=0, **_SMALL)).prepare()
+        exp.advance(2)
+        mid = exp.gather().copy()
+        exp.advance(1)
+        assert exp.steps_done == 3
+        assert exp.gather().time > mid.time
+
+    def test_crash_recovery_bit_identity_2x2(self, tmp_path):
+        """The acceptance scenario: 2x2 run, rank crash at step 3,
+        checkpoints every 2 — resumes and matches the uninterrupted run
+        bit for bit, with the recovery visible in the metrics."""
+        base = dict(steps=5, ranks=(2, 2), checkpoint_every=2, **_SMALL)
+        ref = Experiment(RunSpec(
+            checkpoint_dir=str(tmp_path / "ref"), **base)).run()
+        faulty = Experiment(RunSpec(
+            faults="crash@3:r1", metrics=True,
+            checkpoint_dir=str(tmp_path / "faulty"), **base)).run()
+
+        for name in ref.state.prognostic_names():
+            np.testing.assert_array_equal(faulty.state.get(name),
+                                          ref.state.get(name), err_msg=name)
+        assert faulty.recoveries == 1
+        assert faulty.fault_log[0][1].value == "crash"
+        counters = faulty.metrics["counters"]
+        assert counters["resilience.recoveries"] == 1
+        assert counters["resilience.faults.crash"] == 1
+        assert counters["checkpoint.restores"] == 1
+        assert faulty.checkpoints_written >= 2
+
+    def test_crash_without_checkpoint_restarts_from_initial(self):
+        ref = Experiment(RunSpec(steps=4, **_SMALL)).run()
+        faulty = Experiment(RunSpec(steps=4, faults="crash@2",
+                                    **_SMALL)).run()
+        for name in ref.state.prognostic_names():
+            np.testing.assert_array_equal(faulty.state.get(name),
+                                          ref.state.get(name), err_msg=name)
+        assert faulty.recoveries == 1
+
+    def test_resume_continues_bit_identically(self, tmp_path):
+        base = dict(ranks=(2, 2), checkpoint_every=2,
+                    checkpoint_dir=str(tmp_path), **_SMALL)
+        ref = Experiment(RunSpec(steps=4, **dict(
+            base, checkpoint_dir=str(tmp_path / "ref")))).run()
+        Experiment(RunSpec(steps=2, **base)).run()      # interrupted here
+        resumed = Experiment(RunSpec(steps=4, resume=True, **base)).run()
+        assert resumed.resumed_from == 2
+        assert resumed.steps_done == 4
+        for name in ref.state.prognostic_names():
+            np.testing.assert_array_equal(resumed.state.get(name),
+                                          ref.state.get(name), err_msg=name)
+
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        spec = RunSpec(steps=2, resume=True,
+                       checkpoint_dir=str(tmp_path / "void"), **_SMALL)
+        with pytest.raises(FileNotFoundError):
+            Experiment(spec).prepare()
+
+    def test_retry_stats_surface_in_result(self):
+        result = Experiment(RunSpec(steps=2, ranks=(2, 2),
+                                    faults="drop@0,corrupt@1",
+                                    **_SMALL)).run()
+        assert result.retry_stats.retransmits == 2
+        assert result.retry_stats.recovery_s > 0
+        assert "retransmits" in result.resilience_report()
+
+    def test_gpu_backend_session_records_devices(self):
+        result = Experiment(RunSpec(steps=1, backend="gpu", metrics=True,
+                                    **_SMALL)).run()
+        assert result.session is not None
+        assert result.session.device_ops
+        assert result.metrics["counters"]["kernel.launches"] > 0
+
+
+# ------------------------------------------------------------- deprecation
+class TestDeprecationShims:
+    def test_cli_make_case_warns(self):
+        from repro.cli import _make_case
+
+        args = argparse.Namespace(workload="warm-bubble", nx=12, ny=12,
+                                  nz=10, dt=None)
+        with pytest.warns(DeprecationWarning, match="make_case"):
+            case = _make_case(args)
+        assert case.grid.nx == 12
+
+    def test_halo_exchanger_legacy_kwargs_warn(self):
+        from repro.core.grid import make_grid
+        from repro.dist.decomposition import decompose
+        from repro.dist.halo import HaloExchanger
+        from repro.dist.mpi_sim import SimComm
+
+        g = make_grid(nx=8, ny=8, nz=4, dx=500.0, dy=500.0, ztop=4000.0)
+        subs = decompose(8, 8, 2, 2, min_cells=g.halo)
+        with pytest.warns(DeprecationWarning, match="Topology"):
+            ex = HaloExchanger(SimComm(4), subs, periodic_x=True,
+                               periodic_y=False)
+        assert ex.topology.periodic_x and not ex.topology.periodic_y
+
+    def test_topology_construction_does_not_warn(self):
+        from repro.core.grid import make_grid
+        from repro.dist.decomposition import Topology, decompose
+        from repro.dist.halo import HaloExchanger
+        from repro.dist.mpi_sim import SimComm
+
+        g = make_grid(nx=8, ny=8, nz=4, dx=500.0, dy=500.0, ztop=4000.0)
+        subs = decompose(8, 8, 2, 2, min_cells=g.halo)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            HaloExchanger(SimComm(4), subs, Topology.from_grid(g, 2, 2))
+
+
+# -------------------------------------------------------------------- CLI
+class TestCliSurface:
+    def test_run_with_demo_faults_smoke(self, capsys, tmp_path,
+                                        monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "--faults", "demo", "--steps", "5",
+                     "--nx", "12", "--ny", "12", "--nz", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "crash recoveries" in out
+        assert "max|w|" in out
+
+    def test_run_checkpoint_resume_cycle(self, capsys, tmp_path,
+                                         monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        common = ["run", "warm-bubble", "--nx", "12", "--ny", "12",
+                  "--nz", "10", "--ranks", "2x2",
+                  "--checkpoint-every", "2", "--checkpoint-dir", "ck"]
+        assert main(common + ["--steps", "2"]) == 0
+        line_a = capsys.readouterr().out.strip().splitlines()[-1]
+        assert main(common + ["--steps", "4", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at step 2" in out
+        uninterrupted = [a if a != "ck" else "ck2" for a in common]
+        assert main(uninterrupted + ["--steps", "4"]) == 0
+        line_b = capsys.readouterr().out.strip().splitlines()[-1]
+        assert out.strip().splitlines()[-1] == line_b != line_a

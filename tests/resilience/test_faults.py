@@ -1,0 +1,203 @@
+"""Fault plans, the injector, and fault-injected halo exchanges."""
+import numpy as np
+import pytest
+
+from repro.core.grid import make_grid
+from repro.core.model import ModelConfig
+from repro.core.reference import make_reference_state
+from repro.core.state import state_from_reference
+from repro.dist.multigpu import MultiGpuAsuca
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RankCrash,
+)
+from repro.resilience.retry import RetryExhaustedError, RetryPolicy
+from repro.workloads.sounding import constant_stability_sounding
+
+
+# ------------------------------------------------------------------- plans
+class TestFaultPlan:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.random(seed=42, n_steps=30, n_ranks=4)
+        b = FaultPlan.random(seed=42, n_steps=30, n_ranks=4)
+        assert a.events == b.events
+        c = FaultPlan.random(seed=43, n_steps=30, n_ranks=4)
+        assert a.events != c.events
+
+    def test_parse_named_plans(self):
+        assert len(FaultPlan.parse(None)) == 0
+        assert len(FaultPlan.parse("none")) == 0
+        demo = FaultPlan.parse("demo")
+        assert {ev.kind for ev in demo.events} == set(FaultKind)
+        rnd = FaultPlan.parse("random:7")
+        assert rnd.events == FaultPlan.random(seed=7, n_steps=50,
+                                              n_ranks=4).events
+
+    def test_parse_compact_items(self):
+        plan = FaultPlan.parse("drop@1,corrupt@2:0>1,crash@3:r2,"
+                               "delay@4:m0.01,drop@5:x3")
+        kinds = [ev.kind for ev in plan.events]
+        assert kinds == [FaultKind.DROP, FaultKind.CORRUPT, FaultKind.CRASH,
+                         FaultKind.DELAY, FaultKind.DROP]
+        assert plan.events[1].src == 0 and plan.events[1].dst == 1
+        assert plan.events[2].rank == 2
+        assert plan.events[3].magnitude == pytest.approx(0.01)
+        assert plan.events[4].count == 3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop@1:z9")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode@1")
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.DROP, step=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.DROP, step=0, count=0)
+
+
+# ---------------------------------------------------------------- injector
+class TestFaultInjector:
+    def test_count_consumption(self):
+        inj = FaultInjector(FaultPlan(
+            events=[FaultEvent(FaultKind.DROP, step=0, count=2)]))
+        inj.begin_step(0)
+        assert inj.on_message(0, 1) is not None
+        assert inj.on_message(0, 1) is not None
+        assert inj.on_message(0, 1) is None       # count exhausted
+        assert inj.pending() == 0
+        assert inj.counts == {"drop": 2}
+
+    def test_step_and_pair_filters(self):
+        inj = FaultInjector(FaultPlan(events=[
+            FaultEvent(FaultKind.DROP, step=2, src=0, dst=1)]))
+        inj.begin_step(1)
+        assert inj.on_message(0, 1) is None       # wrong step
+        inj.begin_step(2)
+        assert inj.on_message(1, 0) is None       # wrong pair
+        assert inj.on_message(0, 1) is not None
+
+    def test_crash_consumed_on_replay(self):
+        inj = FaultInjector(FaultPlan(events=[
+            FaultEvent(FaultKind.CRASH, step=3, rank=1)]))
+        assert inj.crash_rank(3) == 1
+        assert inj.crash_rank(3) is None          # a resumed run passes
+
+    def test_pcie_matches_device_label(self):
+        inj = FaultInjector(FaultPlan(events=[
+            FaultEvent(FaultKind.PCIE, step=0, rank=3)]))
+        inj.begin_step(0)
+        assert not inj.on_pcie("rank0")
+        assert inj.on_pcie("rank3")
+
+
+# ------------------------------------------- fault-injected halo exchange
+def _machine_and_state(plan=None, retry=None, px=2, py=2, seed=0,
+                       amplitude=1.0):
+    """A 2-D-decomposed machine plus a perturbed global state.
+
+    ``amplitude=1.0`` gives arbitrary random fields (fine for exchange
+    tests); stepping tests pass a small amplitude so the state stays
+    inside the integrator's validity range."""
+    g = make_grid(nx=12, ny=9, nz=4, dx=500.0, dy=500.0, ztop=4000.0)
+    ref = make_reference_state(g, constant_stability_sounding())
+    injector = FaultInjector(plan) if plan is not None else None
+    machine = MultiGpuAsuca(g, ref, px, py, ModelConfig(),
+                            fault_injector=injector, retry=retry)
+    gstate = state_from_reference(g, ref)
+    r = np.random.default_rng(seed)
+    for name in gstate.prognostic_names():
+        arr = gstate.get(name)
+        arr += amplitude * r.normal(size=arr.shape)
+    return machine, gstate
+
+
+class TestFaultyExchange:
+    @pytest.mark.parametrize("spec", ["drop@0", "corrupt@0", "delay@0",
+                                      "drop@0:x2,corrupt@0,delay@0:m0.5"])
+    def test_exchange_converges_to_fault_free_answer(self, spec):
+        """Halos exchanged over a faulty transport, recovered under the
+        retry policy, are bit-identical to the fault-free exchange."""
+        clean, gstate = _machine_and_state()
+        faulty, _ = _machine_and_state(plan=FaultPlan.parse(spec))
+        faulty.faults.begin_step(0)
+
+        ref_states = clean.scatter_state(gstate)
+        clean.exchange_all(ref_states, None)
+        states = faulty.scatter_state(gstate)
+        faulty.exchange_all(states, None)
+
+        assert faulty.comm.pending() == 0
+        for a, b in zip(ref_states, states):
+            for name in a.prognostic_names():
+                np.testing.assert_array_equal(a.get(name), b.get(name),
+                                              err_msg=name)
+        assert len(faulty.faults.fired) >= 1
+        assert faulty.exchanger.stats.recovery_s > 0.0
+
+    def test_short_delay_is_waited_out_not_retried(self):
+        machine, gstate = _machine_and_state(
+            plan=FaultPlan.parse("delay@0:m0.001"),
+            retry=RetryPolicy(timeout=0.02))
+        machine.faults.begin_step(0)
+        states = machine.scatter_state(gstate)
+        machine.exchange_all(states, None)
+        s = machine.exchanger.stats
+        assert s.waits == 1 and s.timeouts == 0 and s.retransmits == 0
+        assert s.wait_s == pytest.approx(0.001)
+
+    def test_long_delay_times_out_and_retries(self):
+        machine, gstate = _machine_and_state(
+            plan=FaultPlan.parse("delay@0:m0.5"),
+            retry=RetryPolicy(timeout=0.02))
+        machine.faults.begin_step(0)
+        states = machine.scatter_state(gstate)
+        machine.exchange_all(states, None)
+        s = machine.exchanger.stats
+        assert s.timeouts == 1 and s.retries >= 1
+
+    def test_retry_exhaustion(self):
+        """More drops of one message than the policy allows is fatal."""
+        machine, gstate = _machine_and_state(
+            plan=FaultPlan(events=[
+                FaultEvent(FaultKind.DROP, step=0, src=0, dst=1, count=50)]),
+            retry=RetryPolicy(max_retries=2))
+        machine.faults.begin_step(0)
+        states = machine.scatter_state(gstate)
+        with pytest.raises(RetryExhaustedError):
+            machine.exchange_all(states, None)
+
+    def test_crash_raises_rank_crash(self):
+        machine, gstate = _machine_and_state(
+            plan=FaultPlan.parse("crash@1:r2"), amplitude=1e-3)
+        states = machine.scatter_state(gstate)
+        machine.exchange_all(states, None)
+        states = machine.step(states)
+        with pytest.raises(RankCrash) as exc:
+            machine.step(states)
+        assert exc.value.rank == 2 and exc.value.step == 1
+
+    def test_stepped_run_with_faults_matches_clean_run(self):
+        """Two model steps over a faulty-but-recovered transport equal the
+        fault-free run bit for bit."""
+        clean, gstate = _machine_and_state(amplitude=1e-3)
+        faulty, _ = _machine_and_state(
+            plan=FaultPlan.parse("drop@0,corrupt@1,delay@1"),
+            amplitude=1e-3)
+
+        a = clean.scatter_state(gstate)
+        clean.exchange_all(a, None)
+        b = faulty.scatter_state(gstate)
+        faulty.exchange_all(b, None)
+        for _ in range(2):
+            a = clean.run(a, 1)
+            b = faulty.run(b, 1)
+        ga, gb = clean.gather_state(a), faulty.gather_state(b)
+        for name in ga.prognostic_names():
+            np.testing.assert_array_equal(ga.get(name), gb.get(name),
+                                          err_msg=name)
+        assert len(faulty.faults.fired) == 3
