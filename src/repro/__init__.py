@@ -34,6 +34,10 @@ Subpackages
     fault injection (dropped/corrupted/delayed halo messages, PCIe
     failures, rank crashes), retry/backoff, and atomic checkpoint-restart
     (see docs/RESILIENCE.md).
+``repro.analysis``
+    the compute-sanitizer: racecheck (happens-before over op timelines),
+    memcheck (DeviceArray lifecycle), asuca-lint (AST invariants), and
+    the ``repro analyze`` report/CI gate (see docs/ANALYSIS.md).
 ``repro.api``
     the unified run facade: ``RunSpec`` -> ``Experiment`` -> ``RunResult``
     over the cpu / gpu / multigpu backends — the single way entry points

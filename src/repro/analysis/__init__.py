@@ -1,0 +1,46 @@
+"""Compute-sanitizer for the virtual GPU machine (docs/ANALYSIS.md).
+
+Three passes over the reproduction's real entry points, one shared
+finding format:
+
+* **racecheck** (:mod:`repro.analysis.racecheck`) — happens-before
+  checking of device op timelines, after ``cuda-memcheck --tool
+  racecheck``: conflicting accesses on different streams with no event
+  edge are hazards even when the modeled engines happen to serialize
+  them;
+* **memcheck** (:mod:`repro.analysis.memcheck`) — DeviceArray lifecycle
+  tracking: use-after-free, double free, leaks at teardown,
+  uninitialized reads, allocator accounting drift;
+* **asuca-lint** (:mod:`repro.analysis.lint`) — AST-level enforcement of
+  the paper's structural invariants: no PCIe transfers inside the step
+  loop, occupancy-valid launch configurations, stencils within the halo.
+
+``repro analyze`` (the CLI) runs them all; :func:`repro.analysis.run_all`
+is the library entry point.
+"""
+from .findings import CODES, Finding, Report
+from .driver import (
+    lint_pass,
+    racecheck_overlap_methods,
+    run_all,
+    sanitized_gpu_smoke,
+    sanitized_multigpu_smoke,
+)
+from .lint import lint_paths
+from .memcheck import MemcheckTracker, memcheck_session
+from .racecheck import (
+    happens_before,
+    happens_before_clocks,
+    racecheck_device,
+    racecheck_ops,
+)
+
+__all__ = [
+    "CODES", "Finding", "Report",
+    "lint_pass", "lint_paths",
+    "racecheck_overlap_methods", "run_all",
+    "sanitized_gpu_smoke", "sanitized_multigpu_smoke",
+    "MemcheckTracker", "memcheck_session",
+    "happens_before", "happens_before_clocks",
+    "racecheck_device", "racecheck_ops",
+]

@@ -1,0 +1,151 @@
+"""The sanitizer's shared finding/report format.
+
+All three passes — racecheck, memcheck, asuca-lint — emit
+:class:`Finding` records with a stable code (``RACE01``, ``MEM03``,
+``LINT02``, ...), a human message, and a location that is either a
+source position (lint) or a device/stream/op coordinate (the dynamic
+passes).  :class:`Report` aggregates them with text/JSON rendering, the
+CI exit-status rule (any unsuppressed finding fails), and the trace-
+session bridge (:meth:`Report.to_session`) that files each finding as an
+instant on the offending device track.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CODES", "Finding", "Report"]
+
+#: every code the sanitizer can emit, with its one-line meaning
+CODES: dict[str, str] = {
+    "RACE01": "conflicting accesses with no happens-before edge",
+    "MEM01": "use-after-free of a device array",
+    "MEM02": "double free of a device array",
+    "MEM03": "device array leaked at teardown",
+    "MEM04": "read of a never-written (uninitialized) device array",
+    "MEM05": "allocator capacity drift (accounting mismatch)",
+    "LINT01": "host<->device transfer reachable from inside a step loop",
+    "LINT02": "launch configuration violates occupancy limits",
+    "LINT03": "stencil slice wider than the declared halo",
+}
+
+
+@dataclass
+class Finding:
+    """One sanitizer finding, in the format shared by all three passes."""
+
+    code: str
+    message: str
+    severity: str = "error"
+    # ---- static (lint) location
+    file: str | None = None
+    line: int | None = None
+    # ---- dynamic (racecheck/memcheck) location
+    device: str | None = None     #: device label, e.g. 'rank2'
+    stream: int | None = None     #: stream id of the (first) offending op
+    op: str | None = None         #: offending op name
+    op_other: str | None = None   #: second op of a racing pair
+    buffer: str | None = None     #: memory region involved
+    t0: float | None = None       #: virtual time of the offending op
+    #: identical hazards collapsed into this finding (e.g. the same racing
+    #: op pair recurring every acoustic substep)
+    occurrences: int = 1
+    suggestion: str = ""
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unknown finding code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        if self.file is not None:
+            return f"{self.file}:{self.line}"
+        parts = []
+        if self.device is not None:
+            parts.append(self.device)
+        if self.stream is not None:
+            parts.append(f"stream{self.stream}")
+        if self.op is not None:
+            parts.append(self.op)
+        if self.op_other is not None:
+            parts.append(f"vs {self.op_other}")
+        return " ".join(parts) if parts else "(global)"
+
+    def text(self) -> str:
+        s = f"{self.code} [{self.severity}] {self.location}: {self.message}"
+        if self.buffer:
+            s += f" (buffer {self.buffer})"
+        if self.occurrences > 1:
+            s += f" [x{self.occurrences}]"
+        if self.suggestion:
+            s += f"\n    hint: {self.suggestion}"
+        return s
+
+    def as_dict(self) -> dict[str, Any]:
+        d = {"code": self.code, "severity": self.severity,
+             "message": self.message, "location": self.location,
+             "occurrences": self.occurrences}
+        for k in ("file", "line", "device", "stream", "op", "op_other",
+                  "buffer", "t0", "suggestion"):
+            v = getattr(self, k)
+            if v not in (None, ""):
+                d[k] = v
+        return d
+
+
+@dataclass
+class Report:
+    """The combined result of one ``repro analyze`` invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    #: pass names that ran, in order (e.g. ['asuca-lint', 'racecheck'])
+    passes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, findings, *, passname: str | None = None) -> "Report":
+        self.findings.extend(findings)
+        if passname and passname not in self.passes:
+            self.passes.append(passname)
+        return self
+
+    def exit_status(self) -> int:
+        return 0 if self.ok else 1
+
+    def text(self) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f.text())
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed — passes: {', '.join(self.passes) or '(none)'}")
+        return "\n".join(lines)
+
+    def as_json(self, indent: int | None = 2) -> str:
+        return json.dumps({
+            "passes": self.passes,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "ok": self.ok,
+        }, indent=indent)
+
+    # ------------------------------------------------------ obs bridge
+    def to_session(self, session) -> int:
+        """File each finding as an instant record on the active
+        :class:`~repro.obs.trace.TraceSession` — dynamic findings land on
+        the offending device/stream track at the op's virtual timestamp,
+        lint findings on the host track.  Returns the number filed."""
+        for f in self.findings:
+            session.record_instant(
+                f"finding:{f.code}",
+                ts=f.t0 if f.t0 is not None else 0.0,
+                pid=f.device or "host",
+                tid=(f"stream{f.stream}" if f.stream is not None else "main"),
+                cat="finding",
+                args=f.as_dict(),
+            )
+        return len(self.findings)

@@ -1,0 +1,261 @@
+"""asuca-lint: AST-based static checks of the repo's GPU invariants.
+
+Three rules, each guarding a claim the paper's speedup rests on:
+
+* ``LINT01`` — **the full-GPU invariant** (Sec. III: "the entire time
+  loop runs on the GPU").  No ``copy_to_host``/``copy_from_host`` call
+  may be reachable from inside a step loop: flagged when a transfer (or a
+  same-module helper that directly transfers) is called anywhere inside a
+  function named ``step``/``_step_once``, or inside a ``for``/``while``
+  loop of a function named ``run``/``advance``.  Call resolution is one
+  level deep and by name within the module — deliberately simple, static,
+  and documented; checkpoint/halo paths are allowlisted by function-name
+  pattern, and anything else justified carries an inline suppression.
+
+* ``LINT02`` — **launch configurations** must respect the GT200
+  occupancy rules the paper's (64, 4, 1) blocks were chosen under: every
+  literal ``LaunchConfig(block=(x, y, z))`` must fit the per-SM thread
+  limit and keep >= 50% occupancy (the era's latency-hiding threshold,
+  :mod:`repro.gpu.occupancy`).
+
+* ``LINT03`` — **stencil widths**: constant slice offsets in the bound
+  GPU kernels (``gpu/asuca_kernels.py`` by default) must not exceed the
+  grid's declared halo width — a wider stencil would read a neighbor
+  rank's unexchanged cells.
+
+Suppression: an inline ``# sanitizer: allow[CODE] <rationale>`` comment
+on the flagged line moves the finding to the report's suppressed list.
+"""
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..gpu.occupancy import GT200_LIMITS, SMLimits, occupancy
+from .findings import Finding
+
+__all__ = ["lint_paths", "declared_halo"]
+
+#: transfer methods the full-GPU invariant forbids inside step loops
+TRANSFER_NAMES = frozenset({"copy_to_host", "copy_from_host"})
+#: functions whose whole body counts as "inside the time loop"
+STEP_BODY_FUNCS = frozenset({"step", "_step_once"})
+#: functions whose for/while loops count as the time loop
+STEP_LOOP_FUNCS = frozenset({"run", "advance"})
+#: function-name substrings exempt from LINT01 (restart/halo machinery
+#: legitimately transfers at its own accounted points)
+ALLOW_NAME_PATTERNS = ("checkpoint", "halo", "restore", "recover")
+#: files whose slice offsets are held to the halo width
+STENCIL_FILES = ("gpu/asuca_kernels.py",)
+
+
+def declared_halo() -> int:
+    """The grid's declared halo width (the default of
+    :func:`repro.core.grid.make_grid`) — the budget LINT03 checks
+    stencil slices against."""
+    import inspect
+
+    from ..core.grid import make_grid
+
+    return int(inspect.signature(make_grid).parameters["halo"].default)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _is_allowed_name(name: str) -> bool:
+    low = name.lower()
+    return any(p in low for p in ALLOW_NAME_PATTERNS)
+
+
+def _suppressed(source_lines: list[str], lineno: int, code: str) -> bool:
+    if 1 <= lineno <= len(source_lines):
+        return f"sanitizer: allow[{code}]" in source_lines[lineno - 1]
+    return False
+
+
+class _ModuleLint:
+    def __init__(self, path: Path, display: str, tree: ast.Module,
+                 source_lines: list[str], *, halo: int, limits: SMLimits,
+                 check_stencils: bool):
+        self.path = path
+        self.display = display
+        self.tree = tree
+        self.lines = source_lines
+        self.halo = halo
+        self.limits = limits
+        self.check_stencils = check_stencils
+        self.findings: list[Finding] = []
+        self.suppressed: list[Finding] = []
+        #: function name -> does any same-name function here transfer?
+        self.transfers_in: dict[str, bool] = {}
+
+    # -------------------------------------------------------- helpers
+    def _emit(self, finding: Finding) -> None:
+        if _suppressed(self.lines, finding.line or 0, finding.code):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+    def _functions(self):
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _direct_transfer_calls(fn: ast.AST) -> list[ast.Call]:
+        return [n for n in ast.walk(fn)
+                if isinstance(n, ast.Call) and _call_name(n) in TRANSFER_NAMES]
+
+    # ---------------------------------------------------------- LINT01
+    def check_step_transfers(self) -> None:
+        for fn in self._functions():
+            self.transfers_in[fn.name] = (
+                self.transfers_in.get(fn.name, False)
+                or bool(self._direct_transfer_calls(fn)))
+
+        for fn in self._functions():
+            if fn.name in STEP_BODY_FUNCS:
+                regions = [fn]
+            elif fn.name in STEP_LOOP_FUNCS:
+                regions = [n for n in ast.walk(fn)
+                           if isinstance(n, (ast.For, ast.While))]
+            else:
+                continue
+            if _is_allowed_name(fn.name):
+                continue
+            for region in regions:
+                for call in ast.walk(region):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = _call_name(call)
+                    if name is None:
+                        continue
+                    direct = name in TRANSFER_NAMES
+                    via = (not direct and self.transfers_in.get(name, False)
+                           and not _is_allowed_name(name))
+                    if not (direct or via):
+                        continue
+                    what = (f"'{name}' transfers host<->device" if direct
+                            else f"'{name}' (which transfers host<->device)")
+                    self._emit(Finding(
+                        code="LINT01",
+                        message=(f"{what} inside the step loop of "
+                                 f"'{fn.name}' — the full-GPU invariant "
+                                 f"keeps PCIe traffic out of the time loop"),
+                        file=self.display, line=call.lineno,
+                        suggestion="hoist the transfer out of the loop, or "
+                                   "suppress with '# sanitizer: "
+                                   "allow[LINT01] <why>' if this is an "
+                                   "accounted checkpoint/halo path",
+                    ))
+
+    # ---------------------------------------------------------- LINT02
+    def check_launch_configs(self) -> None:
+        for call in ast.walk(self.tree):
+            if not (isinstance(call, ast.Call)
+                    and _call_name(call) == "LaunchConfig"):
+                continue
+            block = None
+            if call.args:
+                block = call.args[0]
+            for kw in call.keywords:
+                if kw.arg == "block":
+                    block = kw.value
+            if not isinstance(block, ast.Tuple):
+                continue
+            dims = []
+            for elt in block.elts:
+                if not (isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, int)):
+                    break
+                dims.append(elt.value)
+            else:
+                threads = 1
+                for d in dims:
+                    threads *= d
+                if threads < 1 or threads > self.limits.max_threads:
+                    occ = None
+                else:
+                    occ = occupancy(threads, limits=self.limits)
+                if occ is not None and occ.latency_hiding_ok:
+                    continue
+                detail = (f"{threads} threads/block exceeds the "
+                          f"{self.limits.name} limit of "
+                          f"{self.limits.max_threads}" if occ is None else
+                          f"block of {threads} threads reaches only "
+                          f"{occ.occupancy:.0%} occupancy "
+                          f"(limited by {occ.limiter}; >= 50% needed to "
+                          f"hide memory latency)")
+                self._emit(Finding(
+                    code="LINT02",
+                    message=f"LaunchConfig(block={tuple(dims)}): {detail}",
+                    file=self.display, line=call.lineno,
+                    suggestion="use a block geometry validated by "
+                               "repro.gpu.occupancy (e.g. the paper's "
+                               "(64, 4, 1))",
+                ))
+
+    # ---------------------------------------------------------- LINT03
+    def check_stencil_slices(self) -> None:
+        if not self.check_stencils:
+            return
+        for sub in ast.walk(self.tree):
+            if not isinstance(sub, ast.Subscript):
+                continue
+            for sl in ast.walk(sub.slice):
+                if not isinstance(sl, ast.Slice):
+                    continue
+                for bound, sign in ((sl.lower, 1), (sl.upper, -1)):
+                    if not (isinstance(bound, ast.Constant)
+                            and isinstance(bound.value, int)):
+                        continue
+                    offset = sign * bound.value
+                    if offset <= 0:
+                        continue        # full-range or interior-growing
+                    if offset > self.halo:
+                        self._emit(Finding(
+                            code="LINT03",
+                            message=(f"slice offset {offset} exceeds the "
+                                     f"declared halo width {self.halo}; "
+                                     f"the stencil would read unexchanged "
+                                     f"neighbor cells"),
+                            file=self.display, line=sub.lineno,
+                            suggestion="widen the halo or narrow the "
+                                       "stencil",
+                        ))
+
+
+def lint_paths(
+    root: str | Path,
+    *,
+    halo: int | None = None,
+    limits: SMLimits = GT200_LIMITS,
+    stencil_files: tuple[str, ...] = STENCIL_FILES,
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint every ``*.py`` under ``root`` (or the single file ``root``);
+    returns ``(findings, suppressed)``."""
+    root = Path(root)
+    files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+    halo = declared_halo() if halo is None else halo
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for path in files:
+        display = str(path)
+        text = path.read_text()
+        tree = ast.parse(text, filename=display)
+        posix = path.as_posix()
+        mod = _ModuleLint(
+            path, display, tree, text.splitlines(), halo=halo, limits=limits,
+            check_stencils=any(posix.endswith(s) for s in stencil_files))
+        mod.check_step_transfers()
+        mod.check_launch_configs()
+        mod.check_stencil_slices()
+        findings.extend(mod.findings)
+        suppressed.extend(mod.suppressed)
+    return findings, suppressed

@@ -1,0 +1,169 @@
+"""memcheck: DeviceArray lifecycle tracking for the virtual GPU.
+
+A :class:`MemcheckTracker` attaches to one or more
+:class:`~repro.gpu.device.GPUDevice` instances (``tracker.attach(dev)``
+sets ``dev.memcheck``); from then on every
+:class:`~repro.gpu.memory.DeviceArray` alloc/free/transfer notifies it.
+At :meth:`finish` it folds the observed lifecycle into findings:
+
+* ``MEM01`` — a transfer or device-side write touched a freed array;
+* ``MEM02`` — an array was freed twice (``free()`` itself stays
+  idempotent: the accounting is safe, the redundant call is the smell);
+* ``MEM03`` — arrays still allocated at teardown (leak);
+* ``MEM04`` — a D2H copy read an array no H2D copy or device write ever
+  initialized;
+* ``MEM05`` — ``device.allocated_bytes`` drifted from the sum of live
+  allocations (accounting corruption in the allocator path).
+
+MEM01/02/04 are recorded at the offending call, so the finding carries
+the array's buffer identity and the device/virtual-time coordinates of
+the op stream it happened on.
+"""
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from .findings import Finding
+
+__all__ = ["MemcheckTracker", "memcheck_session"]
+
+
+@dataclass
+class _Live:
+    buffer: str
+    nbytes: int
+    device_label: str
+
+
+class MemcheckTracker:
+    """Collects DeviceArray lifecycle events from attached devices."""
+
+    def __init__(self):
+        self.devices: list = []
+        self._live: dict[str, _Live] = {}      #: buffer -> allocation
+        self.findings: list[Finding] = []
+        self.allocs = 0
+        self.frees = 0
+
+    # ---------------------------------------------------------- attach
+    def attach(self, device) -> "MemcheckTracker":
+        if device not in self.devices:
+            self.devices.append(device)
+            device.memcheck = self
+        return self
+
+    def detach_all(self) -> None:
+        for dev in self.devices:
+            if dev.memcheck is self:
+                dev.memcheck = None
+        self.devices.clear()
+
+    # ----------------------------------------------------------- hooks
+    def on_alloc(self, arr) -> None:
+        self.allocs += 1
+        self._live[arr.buffer] = _Live(arr.buffer, arr.nbytes,
+                                       arr.device.label)
+
+    def on_free(self, arr, *, redundant: bool) -> None:
+        self.frees += 1
+        if redundant:
+            self.findings.append(Finding(
+                code="MEM02",
+                message=f"'{arr.buffer}' freed twice",
+                device=arr.device.label,
+                buffer=arr.buffer,
+                t0=arr.device.elapsed(),
+                suggestion="drop the second free(); the first already "
+                           "released the allocation",
+            ))
+            return
+        self._live.pop(arr.buffer, None)
+
+    def on_transfer(self, arr, kind: str) -> None:
+        if arr._freed:
+            self.findings.append(Finding(
+                code="MEM01",
+                message=f"{kind} transfer on freed array '{arr.buffer}'",
+                device=arr.device.label,
+                stream=arr.device.default_stream.sid,
+                op=f"{kind}:{arr.buffer}",
+                buffer=arr.buffer,
+                t0=arr.device.elapsed(),
+                suggestion="keep the array alive until its last transfer, "
+                           "or re-upload before reading",
+            ))
+        elif kind == "d2h" and not arr._initialized:
+            self.findings.append(Finding(
+                code="MEM04",
+                message=(f"d2h read of '{arr.buffer}' before any h2d copy "
+                         f"or device-side write"),
+                device=arr.device.label,
+                stream=arr.device.default_stream.sid,
+                op=f"d2h:{arr.buffer}",
+                buffer=arr.buffer,
+                t0=arr.device.elapsed(),
+                suggestion="upload or compute into the array before "
+                           "downloading it",
+            ))
+
+    def on_device_write(self, arr) -> None:
+        if arr._freed:
+            self.findings.append(Finding(
+                code="MEM01",
+                message=f"device-side write to freed array '{arr.buffer}'",
+                device=arr.device.label,
+                buffer=arr.buffer,
+                t0=arr.device.elapsed(),
+                suggestion="keep the array alive while kernels still "
+                           "write it",
+            ))
+
+    # ---------------------------------------------------------- finish
+    def live_bytes(self, device_label: str) -> int:
+        return sum(a.nbytes for a in self._live.values()
+                   if a.device_label == device_label)
+
+    def finish(self, *, expect_teardown: bool = True) -> list[Finding]:
+        """End-of-run checks (leaks, capacity drift) plus everything
+        recorded along the way.  ``expect_teardown=False`` skips the leak
+        check for callers inspecting a still-live run."""
+        out = list(self.findings)
+        if expect_teardown:
+            for a in self._live.values():
+                out.append(Finding(
+                    code="MEM03",
+                    message=(f"'{a.buffer}' ({a.nbytes} B) still allocated "
+                             f"at teardown"),
+                    device=a.device_label,
+                    buffer=a.buffer,
+                    suggestion="free() staged arrays (e.g. "
+                               "GpuAsucaRunner.teardown()) when the run "
+                               "ends",
+                ))
+        for dev in self.devices:
+            tracked = self.live_bytes(dev.label)
+            if dev.allocated_bytes != tracked:
+                out.append(Finding(
+                    code="MEM05",
+                    message=(f"allocator reports {dev.allocated_bytes} B "
+                             f"but live allocations sum to {tracked} B"),
+                    device=dev.label,
+                    suggestion="an alloc/free path bypassed the "
+                               "DeviceArray accounting",
+                ))
+        return out
+
+
+@contextlib.contextmanager
+def memcheck_session(*devices):
+    """Attach a fresh tracker to ``devices`` for the enclosed block and
+    detach afterwards; yields the tracker (call ``finish()`` on it after
+    teardown to collect findings)."""
+    tracker = MemcheckTracker()
+    for dev in devices:
+        tracker.attach(dev)
+    try:
+        yield tracker
+    finally:
+        tracker.detach_all()

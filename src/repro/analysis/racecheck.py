@@ -1,0 +1,141 @@
+"""racecheck: a happens-before checker over virtual-device op timelines.
+
+The model (after ``cuda-memcheck --tool racecheck``, lifted from the
+intra-block shared-memory level to the stream/engine level the paper's
+overlap methods live at):
+
+* an op *happens before* another when it precedes it in the same stream's
+  program order, when the later op (transitively) waited on it through a
+  recorded event (``Stream.wait_event`` / ``schedule(after=...)`` with op
+  provenance), or when a ``GPUDevice.synchronize()`` barrier separates
+  their epochs;
+* two ops *conflict* when their declared :class:`~repro.gpu.device.Access`
+  regions overlap and at least one writes;
+* a conflicting, unordered pair is a hazard (``RACE01``) — **even when
+  the modeled timeline happens to serialize them**.  The single DMA/MPI
+  engines of the Tesla S1070 mask many missing event edges (the transfers
+  queue anyway); on hardware with more concurrency the same submission
+  order races.  That masked class is precisely what this pass exists to
+  catch, and why the check is edge-based rather than time-overlap-based.
+
+Kernel-vs-kernel pairs are skipped by default: the GT200 of the paper
+runs one kernel at a time, so compute-compute ordering is a hardware
+guarantee rather than a programmer obligation.  Pass
+``check_kernel_pairs=True`` to audit for devices with concurrent kernel
+execution.
+
+Identical hazards (same op-name pair, same buffer) recurring across
+substeps collapse into one finding with an occurrence count — one root
+cause, one report line, exactly as cuda-memcheck deduplicates.
+"""
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..gpu.device import GPUDevice, Op
+from .findings import Finding
+
+__all__ = ["happens_before_clocks", "happens_before", "racecheck_device",
+           "racecheck_ops"]
+
+#: op kinds that move data and therefore participate in hazard pairs
+_COPY_KINDS = frozenset({"h2d", "d2h", "mpi"})
+
+
+def happens_before_clocks(ops: Iterable[Op]) -> dict[int, dict[int, int]]:
+    """Vector clocks per op: ``clock[seq][sid]`` is the highest ``seq`` of
+    an op on stream ``sid`` ordered before (or equal to) op ``seq``.
+
+    Built in one submission-order sweep: each op joins its stream's
+    running clock with the clocks of its explicit dependencies, then
+    advances its own stream component.
+    """
+    stream_clock: dict[int, dict[int, int]] = {}
+    op_clock: dict[int, dict[int, int]] = {}
+    for op in sorted(ops, key=lambda o: o.seq):
+        clock = dict(stream_clock.get(op.stream, {}))
+        for dep in op.deps:
+            for sid, s in op_clock.get(dep, {}).items():
+                if s > clock.get(sid, -1):
+                    clock[sid] = s
+        clock[op.stream] = op.seq
+        op_clock[op.seq] = clock
+        stream_clock[op.stream] = clock
+    return op_clock
+
+
+def happens_before(a: Op, b: Op, clocks: dict[int, dict[int, int]]) -> bool:
+    """True when ``a`` is ordered before ``b`` by epochs, program order,
+    or the transitive event-edge closure."""
+    if a.seq == b.seq:
+        return False
+    if a.epoch != b.epoch:
+        return a.epoch < b.epoch
+    return clocks.get(b.seq, {}).get(a.stream, -1) >= a.seq
+
+
+def racecheck_ops(ops: list[Op], *, device_label: str = "gpu",
+                  check_kernel_pairs: bool = False) -> list[Finding]:
+    """Scan one op timeline for unordered conflicting access pairs."""
+    annotated = [op for op in ops if op.accesses]
+    clocks = happens_before_clocks(ops)
+
+    # bucket (op, access) by buffer so only same-buffer pairs are compared
+    by_buffer: dict[str, list[tuple[Op, object]]] = {}
+    for op in annotated:
+        for acc in op.accesses:
+            by_buffer.setdefault(acc.buffer, []).append((op, acc))
+
+    found: dict[tuple[str, str, str], Finding] = {}
+    for buffer, entries in by_buffer.items():
+        entries.sort(key=lambda e: e[0].seq)
+        for j in range(len(entries)):
+            op_b, acc_b = entries[j]
+            # shadow-access semantics: each access races against the most
+            # recent conflicting unordered access only — one root cause,
+            # one finding, even when older accesses are also unordered
+            # (fixing the reported edge orders those transitively)
+            for i in range(j - 1, -1, -1):
+                op_a, acc_a = entries[i]
+                if op_a.seq == op_b.seq:
+                    continue
+                if op_a.epoch != op_b.epoch:
+                    break                        # a device sync separates them
+                if (not check_kernel_pairs
+                        and op_a.kind not in _COPY_KINDS
+                        and op_b.kind not in _COPY_KINDS):
+                    continue                     # compute engine serializes
+                if not acc_a.conflicts(acc_b):
+                    continue
+                if happens_before(op_a, op_b, clocks):
+                    continue
+                first, second = op_a, op_b
+                key = (first.name, second.name, buffer)
+                if key in found:
+                    found[key].occurrences += 1
+                    break
+                found[key] = Finding(
+                    code="RACE01",
+                    message=(f"{first.kind} '{first.name}' and {second.kind} "
+                             f"'{second.name}' access '{buffer}' with no "
+                             f"ordering edge between streams "
+                             f"{first.stream} and {second.stream}"),
+                    device=device_label,
+                    stream=first.stream,
+                    op=first.name,
+                    op_other=second.name,
+                    buffer=buffer,
+                    t0=first.start,
+                    suggestion=("record an event after the first access and "
+                                "wait_event it on the second op's stream"),
+                )
+                break
+    return sorted(found.values(), key=lambda f: (f.t0 or 0.0, f.op or ""))
+
+
+def racecheck_device(device: GPUDevice, *,
+                     check_kernel_pairs: bool = False) -> list[Finding]:
+    """Racecheck everything currently on a device's timeline."""
+    return racecheck_ops(device.timeline,
+                         device_label=getattr(device, "label", "gpu"),
+                         check_kernel_pairs=check_kernel_pairs)

@@ -12,6 +12,9 @@ Commands
              (Chrome Trace JSON + optional JSONL) with a text summary
 ``bench``    print one of the paper-reproduction tables (fig4, roofline,
              fig9, fig10, fig11, table1, projection)
+``analyze``  run the compute-sanitizer (docs/ANALYSIS.md): asuca-lint,
+             racecheck over the overlap methods, and sanitized smoke runs;
+             exits nonzero on any finding (the CI gate)
 ``info``     device specs and calibration anchors
 
 The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
@@ -104,6 +107,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("table",
                        choices=["fig4", "roofline", "fig9", "fig10", "fig11",
                                 "table1", "projection"])
+
+    an = sub.add_parser(
+        "analyze",
+        help="run the compute-sanitizer (racecheck/memcheck/asuca-lint)")
+    an.add_argument("--lint", nargs="?", const="src/repro", default=None,
+                    metavar="PATH",
+                    help="run the asuca-lint pass over PATH (default "
+                         "src/repro); selecting any pass flag disables the "
+                         "others unless they are also given")
+    an.add_argument("--racecheck", action="store_true",
+                    help="racecheck the overlap-method schedules")
+    an.add_argument("--smoke", action="store_true",
+                    help="run the sanitized single-GPU and multi-GPU "
+                         "smoke runs (memcheck + racecheck)")
+    an.add_argument("--workload", default="shear-layer",
+                    choices=["mountain-wave", "warm-bubble", "real-case",
+                             "shear-layer"],
+                    help="workload driven by the smoke runs")
+    an.add_argument("--steps", type=int, default=2,
+                    help="smoke-run long steps")
+    an.add_argument("--ranks", type=str, default="2x2", metavar="PXxPY",
+                    help="multi-GPU smoke decomposition (default 2x2)")
+    an.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
+    an.add_argument("--trace", type=str, default=None, metavar="OUT.json",
+                    help="record the smoke runs and file each finding as "
+                         "an instant on the offending device track")
+    an.add_argument("--seed-hazard", default=None,
+                    choices=["missing-event", "uaf"],
+                    help=argparse.SUPPRESS)  # test fixture: plant a fault
 
     sub.add_parser("info", help="device specs and calibration anchors")
 
@@ -309,6 +342,40 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ analyze
+def _cmd_analyze(args) -> int:
+    """Drive :func:`repro.analysis.run_all` and gate on its findings."""
+    from .analysis import run_all
+    from .api import parse_ranks
+
+    sel_lint = args.lint is not None
+    sel_race = args.racecheck
+    sel_smoke = args.smoke
+    if not (sel_lint or sel_race or sel_smoke):
+        sel_lint = sel_race = sel_smoke = True
+    px, py = parse_ranks(args.ranks)
+
+    session = None
+    if args.trace:
+        from .obs import TraceSession
+
+        session = TraceSession(name="analyze")
+    report = run_all(
+        src_root=args.lint,
+        lint=sel_lint, racecheck=sel_race, smoke=sel_smoke,
+        workload=args.workload, steps=args.steps, px=px, py=py,
+        session=session, seed_hazard=args.seed_hazard,
+    )
+    if session is not None:
+        from .obs import write_chrome_trace
+
+        session.finalize(steps=max(1, args.steps))
+        print(f"trace: {write_chrome_trace(session, args.trace)}",
+              file=sys.stderr)
+    print(report.as_json() if args.json else report.text())
+    return report.exit_status()
+
+
 # --------------------------------------------------------------------- info
 def _cmd_info(_args) -> int:
     from .gpu.spec import FERMI_M2050, OPTERON_CORE, Precision, TESLA_S1070
@@ -338,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "reproduce":
         from .reproduce import write_experiments
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..gpu.device import Event, GPUDevice
+from ..gpu.device import Access, Event, GPUDevice
 from ..gpu.kernel import Kernel
 from ..gpu.spec import Precision
 from ..perf.costmodel import ASUCA_KERNELS, DEFAULT_NS, N_WATER_TRACERS, launch_schedule
@@ -69,6 +69,12 @@ class OverlapConfig:
     #: PCIe bandwidth by gpus_per_node.  Off by default because the
     #: measured effective link rates already include in-situ contention.
     pcie_sharing: bool = False
+    #: test-only fault seed for the sanitizer fixtures: "missing-event"
+    #: drops the corner-dependency edge (x MPI after y MPI) on the first
+    #: short-step variable.  The schedule is unchanged — the single MPI
+    #: engine still serializes the transfers — which is exactly the class
+    #: of latent hazard `repro.analysis.racecheck` exists to catch.
+    seed_hazard: str | None = None
 
     @property
     def any_overlap(self) -> bool:
@@ -234,43 +240,64 @@ class OverlapModel:
             # (1) y-boundary kernels of the group
             for v in group:
                 dev.schedule(f"{v.name}:bnd_y", "kernel", s_bnd_y, v.boundary_y,
-                             tag="compute")
+                             tag="compute",
+                             accesses=(Access(f"{v.name}:strip_y", "w"),))
             ev_y = s_bnd_y.record_event()
             # (2) x-boundary kernels + (3) pack
             for v in group:
                 dev.schedule(f"{v.name}:bnd_x", "kernel", s_bnd_x, v.boundary_x,
-                             tag="compute")
+                             tag="compute",
+                             accesses=(Access(f"{v.name}:strip_x", "w"),))
             pack = dev.schedule(f"{name}:pack", "kernel", s_bnd_x,
                                 0.1 * vb.boundary_x, tag="compute")
             # (5) y exchanges: D2H -> MPI -> H2D on stream1
             s_bnd_y.wait_event(ev_y)
-            mpi_y_end = 0.0
+            mpi_y_ops = []
             for v in group:
                 dev.schedule(f"{v.name}:d2h_y", "d2h", s_bnd_y, v.gpu_to_host / 2,
-                             tag="gpu_cpu")
+                             tag="gpu_cpu",
+                             accesses=(Access(f"{v.name}:strip_y", "r"),
+                                       Access(f"{v.name}:host_y", "w")))
                 mpi_y = dev.schedule(f"{v.name}:mpi_y", "mpi", s_bnd_y, v.mpi / 2,
-                                     tag="mpi")
-                mpi_y_end = max(mpi_y_end, mpi_y.end)
+                                     tag="mpi",
+                                     accesses=(Access(f"{v.name}:host_y", "rw"),))
+                mpi_y_ops.append(mpi_y)
                 dev.schedule(f"{v.name}:h2d_y", "h2d", s_bnd_y, v.host_to_gpu / 2,
-                             tag="gpu_cpu")
+                             tag="gpu_cpu",
+                             accesses=(Access(f"{v.name}:host_y", "r"),
+                                       Access(f"{v.name}:halo_y", "w")))
             # (6) x exchanges on stream2; the x buffers carry the corner
             # values received by the y exchange ("copy corner values on
             # CPU"), so the x MPI may start only after the y MPI lands
+            corner_deps = tuple(Event(o.end, op=o) for o in mpi_y_ops)
             for v in group:
                 dev.schedule(f"{v.name}:d2h_x", "d2h", s_bnd_x, v.gpu_to_host / 2,
-                             tag="gpu_cpu")
+                             tag="gpu_cpu",
+                             accesses=(Access(f"{v.name}:strip_x", "r"),
+                                       Access(f"{v.name}:host_x", "w")))
+                if self.config.seed_hazard == "missing-event" and i == 0:
+                    after_x = ()       # seeded fixture: corner edge dropped
+                else:
+                    after_x = corner_deps
                 dev.schedule(f"{v.name}:mpi_x", "mpi", s_bnd_x, v.mpi / 2,
-                             tag="mpi", after=(Event(mpi_y_end),))
+                             tag="mpi", after=after_x,
+                             accesses=(Access(f"{v.name}:host_x", "rw"),
+                                       Access(f"{v.name}:host_y", "r")))
                 dev.schedule(f"{v.name}:h2d_x", "h2d", s_bnd_x, v.host_to_gpu / 2,
-                             tag="gpu_cpu")
+                             tag="gpu_cpu",
+                             accesses=(Access(f"{v.name}:host_x", "r"),
+                                       Access(f"{v.name}:halo_x", "w")))
             # (4) inner kernel after the pack frees the compute engine
-            s_inner.wait_event(Event(pack.end))
+            s_inner.wait_event(Event(pack.end, op=pack))
             dev.schedule(f"{name}:inner", "kernel", s_inner, fused_inner,
-                         tag="compute")
+                         tag="compute",
+                         accesses=(Access(f"{name}:interior", "w"),))
             # (7) unpack x after both H2D and inner
             s_bnd_x.wait_event(s_inner.record_event())
             dev.schedule(f"{name}:unpack", "kernel", s_bnd_x,
-                         0.1 * vb.boundary_x, tag="compute")
+                         0.1 * vb.boundary_x, tag="compute",
+                         accesses=tuple(Access(f"{v.name}:halo_x", "r")
+                                        for v in group))
             i += 1
         # end-of-substep barrier: in overlap mode every rank waits for its
         # asynchronous exchanges to land, paying the inter-node arrival
@@ -285,12 +312,22 @@ class OverlapModel:
     def _schedule_substep_serial(self, dev: GPUDevice, stream, vb_list) -> None:
         for vb in vb_list:
             dev.schedule(f"{vb.name}:whole", "kernel", stream, vb.whole,
-                         tag="compute")
+                         tag="compute",
+                         accesses=(Access(f"{vb.name}:strip_y", "w"),
+                                   Access(f"{vb.name}:strip_x", "w"),
+                                   Access(f"{vb.name}:interior", "w")))
             dev.schedule(f"{vb.name}:d2h", "d2h", stream, vb.gpu_to_host,
-                         tag="gpu_cpu")
-            dev.schedule(f"{vb.name}:mpi", "mpi", stream, vb.mpi, tag="mpi")
+                         tag="gpu_cpu",
+                         accesses=(Access(f"{vb.name}:strip_y", "r"),
+                                   Access(f"{vb.name}:strip_x", "r"),
+                                   Access(f"{vb.name}:host", "w")))
+            dev.schedule(f"{vb.name}:mpi", "mpi", stream, vb.mpi, tag="mpi",
+                         accesses=(Access(f"{vb.name}:host", "rw"),))
             dev.schedule(f"{vb.name}:h2d", "h2d", stream, vb.host_to_gpu,
-                         tag="gpu_cpu")
+                         tag="gpu_cpu",
+                         accesses=(Access(f"{vb.name}:host", "r"),
+                                   Access(f"{vb.name}:halo_y", "w"),
+                                   Access(f"{vb.name}:halo_x", "w")))
         dev.synchronize()
 
     def _schedule_water(self, dev: GPUDevice, streams, overlap: bool) -> None:
@@ -311,19 +348,32 @@ class OverlapModel:
             comm_this_stage = stage == 2
             for i in range(N_WATER_TRACERS):
                 op = dev.schedule(f"q{i}:advection", "kernel", s_comp, t_adv,
-                                  tag="compute")
+                                  tag="compute",
+                                  accesses=(Access(f"q{i}:halo", "r"),
+                                            Access(f"q{i}:interior", "w")))
                 if not comm_this_stage:
                     continue
+                acc_d2h = (Access(f"q{i}:interior", "r"),
+                           Access(f"q{i}:host", "w"))
+                acc_mpi = (Access(f"q{i}:host", "rw"),)
+                acc_h2d = (Access(f"q{i}:host", "r"),
+                           Access(f"q{i}:halo", "w"))
                 if overlap and self.config.method1_pipeline:
                     # communication of tracer i rides its own chain
-                    s_comm.wait_event(Event(op.end))
-                    dev.schedule(f"q{i}:d2h", "d2h", s_comm, d2h, tag="gpu_cpu")
-                    dev.schedule(f"q{i}:mpi", "mpi", s_comm, mpi, tag="mpi")
-                    dev.schedule(f"q{i}:h2d", "h2d", s_comm, h2d, tag="gpu_cpu")
+                    s_comm.wait_event(Event(op.end, op=op))
+                    dev.schedule(f"q{i}:d2h", "d2h", s_comm, d2h,
+                                 tag="gpu_cpu", accesses=acc_d2h)
+                    dev.schedule(f"q{i}:mpi", "mpi", s_comm, mpi, tag="mpi",
+                                 accesses=acc_mpi)
+                    dev.schedule(f"q{i}:h2d", "h2d", s_comm, h2d,
+                                 tag="gpu_cpu", accesses=acc_h2d)
                 else:
-                    dev.schedule(f"q{i}:d2h", "d2h", s_comp, d2h, tag="gpu_cpu")
-                    dev.schedule(f"q{i}:mpi", "mpi", s_comp, mpi, tag="mpi")
-                    dev.schedule(f"q{i}:h2d", "h2d", s_comp, h2d, tag="gpu_cpu")
+                    dev.schedule(f"q{i}:d2h", "d2h", s_comp, d2h,
+                                 tag="gpu_cpu", accesses=acc_d2h)
+                    dev.schedule(f"q{i}:mpi", "mpi", s_comp, mpi, tag="mpi",
+                                 accesses=acc_mpi)
+                    dev.schedule(f"q{i}:h2d", "h2d", s_comp, h2d,
+                                 tag="gpu_cpu", accesses=acc_h2d)
             dev.synchronize()
 
     def _other_compute_time(self) -> float:

@@ -2,7 +2,7 @@
 streams/engines with a simulated clock, device memory accounting, kernels
 with cost models, coalescing and shared-memory models."""
 from .spec import DeviceSpec, Precision, TESLA_S1070, FERMI_M2050, OPTERON_CORE
-from .device import GPUDevice, Stream, Event, Op
+from .device import Access, GPUDevice, Stream, Event, Op
 from .memory import DeviceArray, DeviceAllocator, max_grid_fits
 from .kernel import Kernel, KernelCostModel, LaunchConfig
 from .roofline import kernel_time, attainable_flops, arithmetic_intensity, ridge_intensity
@@ -13,7 +13,7 @@ from .runtime import GpuAsucaRunner
 
 __all__ = [
     "DeviceSpec", "Precision", "TESLA_S1070", "FERMI_M2050", "OPTERON_CORE",
-    "GPUDevice", "Stream", "Event", "Op",
+    "Access", "GPUDevice", "Stream", "Event", "Op",
     "DeviceArray", "DeviceAllocator", "max_grid_fits",
     "Kernel", "KernelCostModel", "LaunchConfig",
     "kernel_time", "attainable_flops", "arithmetic_intensity", "ridge_intensity",

@@ -14,6 +14,14 @@ Sec. 2).  Work is submitted in host order exactly like the CUDA runtime:
 The recorded timeline is what the Fig. 9 / Fig. 11 benchmarks read out.
 Functional results are produced by really executing the wrapped NumPy
 functions; the clock is purely virtual.
+
+Every op also records the *happens-before* facts of its submission — the
+explicit event/`after` dependencies it was given, its position in stream
+program order, and the device-synchronize epoch it belongs to — plus the
+memory regions it declares via :class:`Access`.  None of this changes the
+schedule; it is what :mod:`repro.analysis.racecheck` replays to find
+conflicting accesses with no ordering edge (the virtual machine's
+``racecheck``, after cuda-memcheck's tool of the same name).
 """
 from __future__ import annotations
 
@@ -24,7 +32,34 @@ import numpy as np
 
 from .spec import DeviceSpec, TESLA_S1070
 
-__all__ = ["Op", "Event", "Stream", "GPUDevice"]
+__all__ = ["Access", "Op", "Event", "Stream", "GPUDevice"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """A declared memory access of one op: a named buffer (a
+    :class:`~repro.gpu.memory.DeviceArray` region, a host staging buffer,
+    a halo strip) and an optional element range within it.
+
+    ``hi=None`` means "to the end of the buffer"; two accesses conflict
+    when they touch the same buffer, their ranges intersect, and at least
+    one of them writes.
+    """
+
+    buffer: str
+    mode: str            #: 'r' | 'w' | 'rw'
+    lo: int = 0
+    hi: int | None = None
+
+    def overlaps(self, other: "Access") -> bool:
+        if self.buffer != other.buffer:
+            return False
+        a_hi = float("inf") if self.hi is None else self.hi
+        b_hi = float("inf") if other.hi is None else other.hi
+        return self.lo < b_hi and other.lo < a_hi
+
+    def conflicts(self, other: "Access") -> bool:
+        return ("w" in self.mode or "w" in other.mode) and self.overlaps(other)
 
 
 @dataclass
@@ -39,6 +74,14 @@ class Op:
     flops: float = 0.0
     bytes_moved: float = 0.0
     tag: str = ""      #: free-form grouping label for breakdown reports
+    #: submission order on the device (unique, monotonically increasing)
+    seq: int = -1
+    #: device-synchronize epoch; a device sync orders everything before it
+    epoch: int = 0
+    #: seqs of the ops this op explicitly waited on (events / ``after``)
+    deps: tuple[int, ...] = ()
+    #: memory regions this op declared (empty = opaque to racecheck)
+    accesses: tuple[Access, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -47,9 +90,15 @@ class Op:
 
 @dataclass
 class Event:
-    """CUDA-event analogue: a point on a stream's timeline."""
+    """CUDA-event analogue: a point on a stream's timeline.
+
+    ``op`` is provenance for the happens-before analysis: the operation
+    whose completion this event marks (None for synthetic time-only
+    events, which order the *schedule* but carry no dependency edge).
+    """
 
     time: float
+    op: Op | None = None
 
 
 class Stream:
@@ -59,13 +108,21 @@ class Stream:
         self.device = device
         self.sid = sid
         self.available_at = 0.0
+        #: last op placed on this stream (event provenance)
+        self.last_op: Op | None = None
+        #: dependency ops from wait_event, consumed by the next placed op
+        self._pending_deps: list[Op] = []
 
     def record_event(self) -> Event:
-        return Event(self.available_at)
+        return Event(self.available_at, op=self.last_op)
 
     def wait_event(self, event: Event) -> None:
-        """Subsequent ops on this stream start no earlier than the event."""
+        """Subsequent ops on this stream start no earlier than the event.
+        When the event carries op provenance, the next op placed here also
+        records a happens-before edge to that op."""
         self.available_at = max(self.available_at, event.time)
+        if event.op is not None:
+            self._pending_deps.append(event.op)
 
     def synchronize(self) -> float:
         return self.available_at
@@ -97,6 +154,13 @@ class GPUDevice:
         self.streams: list[Stream] = []
         self.timeline: list[Op] = []
         self.allocated_bytes = 0
+        #: optional lifecycle hook (duck-typed; see
+        #: :class:`repro.analysis.memcheck.MemcheckTracker`) notified by
+        #: :class:`~repro.gpu.memory.DeviceArray` alloc/free/transfer calls
+        self.memcheck = None
+        self._seq = 0          #: next op submission number
+        self._epoch = 0        #: current synchronize epoch
+        self._alloc_seq = 0    #: DeviceArray naming counter
         self.default_stream = self.create_stream()
 
     # ----------------------------------------------------------- streams
@@ -128,6 +192,7 @@ class GPUDevice:
         bytes_moved: float = 0.0,
         after: Iterable[Event] = (),
         tag: str = "",
+        accesses: Iterable[Access] = (),
     ) -> Op:
         """Place an op on the timeline; returns it (its ``end`` is when a
         subsequent dependent op may start).
@@ -145,7 +210,8 @@ class GPUDevice:
                         flops=0.0, bytes_moved=bytes_moved, after=after,
                         tag="pcie_retry")
         return self._place(name, kind, stream, duration, flops=flops,
-                           bytes_moved=bytes_moved, after=after, tag=tag)
+                           bytes_moved=bytes_moved, after=after, tag=tag,
+                           accesses=accesses)
 
     def _place(
         self,
@@ -158,7 +224,9 @@ class GPUDevice:
         bytes_moved: float = 0.0,
         after: Iterable[Event] = (),
         tag: str = "",
+        accesses: Iterable[Access] = (),
     ) -> Op:
+        after = tuple(after)
         engine = self._engine_for(kind)
         start = max(
             stream.available_at,
@@ -168,20 +236,35 @@ class GPUDevice:
         end = start + duration
         stream.available_at = end
         self._engines[engine] = end
+        # happens-before edges: explicit `after` provenance plus any
+        # wait_event deps pending on the stream (program order is implied
+        # by `stream`/`seq` and need not be recorded)
+        deps = [ev.op for ev in after if ev.op is not None]
+        deps.extend(stream._pending_deps)
+        stream._pending_deps = []
         op = Op(name=name, kind=kind, stream=stream.sid, start=start, end=end,
-                flops=flops, bytes_moved=bytes_moved, tag=tag)
+                flops=flops, bytes_moved=bytes_moved, tag=tag,
+                seq=self._seq, epoch=self._epoch,
+                deps=tuple(d.seq for d in deps),
+                accesses=tuple(accesses))
+        self._seq += 1
+        stream.last_op = op
         self.timeline.append(op)
         return op
 
     # ------------------------------------------------------------- clock
     def synchronize(self) -> float:
         """Wait for everything (returns the makespan) and align all
-        streams/engines to it — cudaDeviceSynchronize analogue."""
+        streams/engines to it — cudaDeviceSynchronize analogue.  Also a
+        happens-before barrier: every later op is ordered after every
+        earlier one (the epoch stamp racecheck keys on)."""
         t = self.elapsed()
         for s in self.streams:
             s.available_at = t
+            s._pending_deps = []
         for k in self._engines:
             self._engines[k] = t
+        self._epoch += 1
         return t
 
     def elapsed(self) -> float:
@@ -195,8 +278,12 @@ class GPUDevice:
         self.timeline.clear()
         for s in self.streams:
             s.available_at = 0.0
+            s.last_op = None
+            s._pending_deps = []
         for k in self._engines:
             self._engines[k] = 0.0
+        self._seq = 0
+        self._epoch = 0
 
     # --------------------------------------------------------- reporting
     def busy_time(self, kind: str | None = None, tag: str | None = None) -> float:

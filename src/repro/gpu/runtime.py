@@ -19,8 +19,6 @@ reproduction.
 """
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.model import AsucaModel
 from ..core.state import State
 from .coalescing import ArrayOrder
@@ -60,12 +58,25 @@ class GpuAsucaRunner:
     def upload(self, state: State) -> None:
         """Stage the prognostic fields into device memory (Fig. 1 input
         transfer).  Capacity accounting raises MemoryError exactly like
-        the paper's 4 GB limit."""
+        the paper's 4 GB limit.  Re-uploading frees and replaces any
+        previously staged arrays, so repeated uploads never leak modeled
+        device memory."""
         for name in state.prognostic_names():
+            stale = self._device_arrays.pop(name, None)
+            if stale is not None:
+                stale.free()
             arr = state.get(name)
-            d = DeviceArray(self.device, arr.shape, arr.dtype, self.order)
+            d = DeviceArray(self.device, arr.shape, arr.dtype, self.order,
+                            name=name)
             d.copy_from_host(arr, tag="init")
             self._device_arrays[name] = d
+
+    def teardown(self) -> None:
+        """Free every staged device array (end-of-run cleanup; the
+        sanitizer's leak-at-teardown check keys on this having happened)."""
+        for d in self._device_arrays.values():
+            d.free()
+        self._device_arrays.clear()
 
     def sync_device(self, state: State) -> None:
         """Overwrite the staged device copies with ``state`` without
@@ -76,7 +87,7 @@ class GpuAsucaRunner:
             self.upload(state)
             return
         for name, d in self._device_arrays.items():
-            np.copyto(d.data, state.get(name))
+            d.fill_from(state.get(name))
 
     def download(self, state: State, names: list[str] | None = None) -> None:
         """Fetch output fields to the host (Fig. 1 output transfer),
@@ -101,7 +112,7 @@ class GpuAsucaRunner:
         # keep the staged device copies current (no PCIe traffic: this is
         # device-resident data, the whole point of the full-GPU port)
         for name, d in self._device_arrays.items():
-            np.copyto(d.data, new.get(name))
+            d.fill_from(new.get(name))
         self.steps_taken += 1
         return new
 

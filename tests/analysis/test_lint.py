@@ -1,0 +1,169 @@
+"""Unit tests of the asuca-lint AST pass (and its run over the repo)."""
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def _write(tmp_path, name, body):
+    p = tmp_path / name
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(textwrap.dedent(body))
+    return p
+
+
+def _lint(path, **kw):
+    return lint_paths(path, halo=3, **kw)
+
+
+# ------------------------------------------------------------------ LINT01
+def test_transfer_inside_step_is_flagged(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def step(self, state):
+                self.arr.copy_to_host(state.out)
+    """)
+    findings, _ = _lint(p)
+    assert [f.code for f in findings] == ["LINT01"]
+    assert findings[0].line == 4
+
+
+def test_transfer_inside_run_loop_is_flagged(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def run(self, state, n):
+                for _ in range(n):
+                    self.arr.copy_from_host(state.inp)
+    """)
+    findings, _ = _lint(p)
+    assert [f.code for f in findings] == ["LINT01"]
+
+
+def test_transfer_outside_the_loop_is_clean(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def run(self, state, n):
+                self.arr.copy_from_host(state.inp)   # hoisted: fine
+                for _ in range(n):
+                    self.compute(state)
+    """)
+    findings, _ = _lint(p)
+    assert findings == []
+
+
+def test_one_level_indirect_transfer_is_flagged(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def push(self, state):
+                self.arr.copy_from_host(state.inp)
+            def step(self, state):
+                self.push(state)
+    """)
+    findings, _ = _lint(p)
+    assert [f.code for f in findings] == ["LINT01"]
+    assert "push" in findings[0].message
+
+
+def test_checkpoint_and_halo_helpers_are_allowlisted(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def save_checkpoint(self, state):
+                self.arr.copy_to_host(state.out)
+            def exchange_halo(self, state):
+                self.arr.copy_from_host(state.inp)
+            def step(self, state):
+                self.save_checkpoint(state)
+                self.exchange_halo(state)
+    """)
+    findings, _ = _lint(p)
+    assert findings == []
+
+
+def test_inline_suppression_moves_finding_to_suppressed(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        class Runner:
+            def step(self, state):
+                self.arr.copy_to_host(state.out)  # sanitizer: allow[LINT01] output cadence is per-step by design
+    """)
+    findings, suppressed = _lint(p)
+    assert findings == []
+    assert [f.code for f in suppressed] == ["LINT01"]
+
+
+# ------------------------------------------------------------------ LINT02
+def test_oversized_block_is_flagged(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        from repro.gpu.kernel import LaunchConfig
+        cfg = LaunchConfig(block=(64, 32, 1))
+    """)
+    findings, _ = _lint(p)
+    assert [f.code for f in findings] == ["LINT02"]
+    assert "2048" in findings[0].message
+
+
+def test_low_occupancy_block_is_flagged(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        from repro.gpu.kernel import LaunchConfig
+        cfg = LaunchConfig(block=(8, 1, 1))
+    """)
+    findings, _ = _lint(p)
+    assert [f.code for f in findings] == ["LINT02"]
+    assert "occupancy" in findings[0].message
+
+
+def test_paper_block_is_clean(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        from repro.gpu.kernel import LaunchConfig
+        cfg = LaunchConfig(block=(64, 4, 1))
+    """)
+    findings, _ = _lint(p)
+    assert findings == []
+
+
+def test_non_literal_block_is_ignored(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        from repro.gpu.kernel import LaunchConfig
+        def make(bx):
+            return LaunchConfig(block=(bx, 4, 1))
+    """)
+    findings, _ = _lint(p)
+    assert findings == []
+
+
+# ------------------------------------------------------------------ LINT03
+def test_wide_stencil_slice_in_kernel_file_is_flagged(tmp_path):
+    p = _write(tmp_path, "gpu/asuca_kernels.py", """
+        def stencil(f, out):
+            out[4:-4] = f[8:] - f[:-8]
+    """)
+    findings, _ = _lint(tmp_path)
+    codes = [f.code for f in findings]
+    assert codes and set(codes) == {"LINT03"}
+    assert "8" in findings[0].message or "4" in findings[0].message
+
+
+def test_halo_width_slices_are_clean(tmp_path):
+    p = _write(tmp_path, "gpu/asuca_kernels.py", """
+        def stencil(f, out):
+            out[1:-1] = f[2:] - f[:-2]
+    """)
+    findings, _ = _lint(tmp_path)
+    assert findings == []
+
+
+def test_wide_slices_outside_kernel_files_are_ignored(tmp_path):
+    p = _write(tmp_path, "misc.py", """
+        def windowing(f):
+            return f[100:]
+    """)
+    findings, _ = _lint(p)
+    assert findings == []
+
+
+# ------------------------------------------------------------ repo hygiene
+def test_repo_source_tree_is_lint_clean():
+    """The acceptance gate CI enforces: zero findings on src/repro."""
+    findings, _ = lint_paths(REPO_SRC)
+    assert findings == [], "\n".join(f.text() for f in findings)

@@ -1,0 +1,137 @@
+"""Unit tests of the happens-before race checker."""
+from repro.analysis import racecheck_device, racecheck_ops
+from repro.gpu.device import Access, GPUDevice
+from repro.gpu.spec import TESLA_S1070
+
+
+def _dev():
+    return GPUDevice(TESLA_S1070)
+
+
+def test_ordered_pair_is_clean(race_timeline):
+    dev = race_timeline(ordered=True)
+    assert racecheck_device(dev) == []
+
+
+def test_missing_edge_is_a_race(race_timeline):
+    dev = race_timeline(ordered=False)
+    findings = racecheck_device(dev)
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.code == "RACE01"
+    assert f.op == "produce" and f.op_other == "consume"
+    assert f.buffer == "buf"
+    assert f.stream == 1            # the producer's stream
+
+
+def test_race_found_even_when_engine_serializes():
+    """The S1070's single DMA engine makes the unordered copy pair
+    non-overlapping in time; the hazard must be reported regardless —
+    the masked-by-serialization class is the point of the pass."""
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    up = dev.schedule("produce", "h2d", s1, 1.0,
+                      accesses=(Access("buf", "w"),))
+    down = dev.schedule("consume", "d2h", s2, 1.0,
+                        accesses=(Access("buf", "r"),))
+    assert down.start >= up.end          # temporally serialized anyway
+    findings = racecheck_device(dev)
+    assert len(findings) == 1 and findings[0].code == "RACE01"
+
+
+def test_program_order_within_a_stream_is_clean():
+    dev = _dev()
+    s = dev.create_stream()
+    dev.schedule("w", "h2d", s, 1.0, accesses=(Access("b", "w"),))
+    dev.schedule("r", "d2h", s, 1.0, accesses=(Access("b", "r"),))
+    assert racecheck_device(dev) == []
+
+
+def test_transitive_ordering_through_chain():
+    """a -HB-> b -HB-> c orders a vs c even with no direct edge."""
+    dev = _dev()
+    s1, s2, s3 = (dev.create_stream() for _ in range(3))
+    dev.schedule("a", "d2h", s1, 1.0, accesses=(Access("b", "w"),))
+    s2.wait_event(s1.record_event())
+    dev.schedule("b", "mpi", s2, 1.0)
+    s3.wait_event(s2.record_event())
+    dev.schedule("c", "h2d", s3, 1.0, accesses=(Access("b", "r"),))
+    assert racecheck_device(dev) == []
+
+
+def test_synchronize_separates_epochs():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("w", "d2h", s1, 1.0, accesses=(Access("b", "w"),))
+    dev.synchronize()
+    dev.schedule("r", "mpi", s2, 1.0, accesses=(Access("b", "r"),))
+    assert racecheck_device(dev) == []
+
+
+def test_read_read_is_not_a_conflict():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("r1", "d2h", s1, 1.0, accesses=(Access("b", "r"),))
+    dev.schedule("r2", "mpi", s2, 1.0, accesses=(Access("b", "r"),))
+    assert racecheck_device(dev) == []
+
+
+def test_disjoint_ranges_do_not_conflict():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("lo", "d2h", s1, 1.0,
+                 accesses=(Access("b", "w", lo=0, hi=10),))
+    dev.schedule("hi", "mpi", s2, 1.0,
+                 accesses=(Access("b", "w", lo=10, hi=20),))
+    assert racecheck_device(dev) == []
+
+
+def test_kernel_pairs_skipped_by_default():
+    """GT200 runs one kernel at a time, so kernel-kernel ordering is a
+    hardware guarantee — unless the audit explicitly opts in."""
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("k1", "kernel", s1, 1.0, accesses=(Access("b", "w"),))
+    dev.schedule("k2", "kernel", s2, 1.0, accesses=(Access("b", "w"),))
+    assert racecheck_device(dev) == []
+    assert len(racecheck_device(dev, check_kernel_pairs=True)) == 1
+
+
+def test_kernel_vs_copy_still_checked():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("k", "kernel", s1, 1.0, accesses=(Access("b", "w"),))
+    dev.schedule("c", "d2h", s2, 1.0, accesses=(Access("b", "r"),))
+    assert len(racecheck_device(dev)) == 1
+
+
+def test_recurring_hazard_deduplicates_with_occurrences():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    for _ in range(5):
+        dev.schedule("w", "d2h", s1, 1.0, accesses=(Access("b", "w"),))
+        dev.schedule("r", "mpi", s2, 1.0, accesses=(Access("b", "r"),))
+        dev.synchronize()
+    findings = racecheck_device(dev)
+    assert len(findings) == 1
+    assert findings[0].occurrences == 5
+
+
+def test_shadow_semantics_report_latest_conflict_only():
+    """Two unordered writers followed by an unordered reader: the reader
+    races against the most recent writer only — one root cause."""
+    dev = _dev()
+    s1, s2, s3 = (dev.create_stream() for _ in range(3))
+    dev.schedule("w1", "d2h", s1, 1.0, accesses=(Access("b", "w"),))
+    dev.schedule("w2", "h2d", s2, 1.0, accesses=(Access("b", "w"),))
+    dev.schedule("r", "mpi", s3, 1.0, accesses=(Access("b", "r"),))
+    pairs = {(f.op, f.op_other) for f in racecheck_device(dev)}
+    assert pairs == {("w1", "w2"), ("w2", "r")}
+
+
+def test_racecheck_ops_ignores_unannotated_ops():
+    dev = _dev()
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("a", "d2h", s1, 1.0)
+    dev.schedule("b", "mpi", s2, 1.0)
+    assert racecheck_ops(dev.timeline) == []

@@ -32,3 +32,29 @@ def small_state(small_grid):
 
 def rng(seed: int = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
+
+
+def stream_pair_timeline(ordered: bool):
+    """Two streams touching one buffer — the canonical racecheck fixture.
+
+    A d2h on stream 1 writes ``buf``; an mpi op on stream 2 reads it.
+    With ``ordered=True`` the consumer waits on a recorded event (the
+    correct CUDA idiom); with ``ordered=False`` the edge is missing, and
+    only engine serialization hides the hazard.  Returns the device.
+    """
+    from repro.gpu.device import Access, GPUDevice
+    from repro.gpu.spec import TESLA_S1070
+
+    dev = GPUDevice(TESLA_S1070)
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    dev.schedule("produce", "d2h", s1, 1.0, accesses=(Access("buf", "w"),))
+    if ordered:
+        s2.wait_event(s1.record_event())
+    dev.schedule("consume", "mpi", s2, 1.0, accesses=(Access("buf", "r"),))
+    return dev
+
+
+@pytest.fixture
+def race_timeline():
+    """The :func:`stream_pair_timeline` builder, as a fixture."""
+    return stream_pair_timeline

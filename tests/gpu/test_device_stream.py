@@ -118,3 +118,75 @@ def test_reset(dev):
 def test_negative_duration_rejected(dev):
     with pytest.raises(ValueError):
         dev.schedule("bad", "kernel", dev.default_stream, -1.0)
+
+
+# ------------------------------------------------------- event ordering
+# These pin the record_event/wait_event semantics the racecheck pass
+# builds its happens-before relation from (op provenance, dependency
+# edges, synchronize epochs).
+
+def test_record_event_carries_op_provenance(dev):
+    s = dev.create_stream()
+    assert s.record_event().op is None     # nothing recorded yet
+    op = dev.schedule("a", "h2d", s, 1.0)
+    ev = s.record_event()
+    assert ev.op is op
+    assert ev.time == op.end
+
+
+def test_wait_event_records_dependency_edge(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    op = dev.schedule("a", "h2d", s1, 2.0)
+    s2.wait_event(s1.record_event())
+    nxt = dev.schedule("b", "mpi", s2, 1.0)
+    assert op.seq in nxt.deps
+    assert nxt.start == op.end
+
+
+def test_after_events_record_dependency_edges(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    op = dev.schedule("a", "h2d", s1, 2.0)
+    dep = dev.schedule("b", "mpi", s2, 1.0, after=(Event(op.end, op=op),))
+    assert op.seq in dep.deps
+
+
+def test_cross_stream_dependency_chain(dev):
+    """a -> b -> c across three streams: each link is an event edge, and
+    both timing and dependency provenance reflect the chain."""
+    s1, s2, s3 = (dev.create_stream() for _ in range(3))
+    a = dev.schedule("a", "h2d", s1, 1.0)
+    s2.wait_event(s1.record_event())
+    b = dev.schedule("b", "mpi", s2, 2.0)
+    s3.wait_event(s2.record_event())
+    c = dev.schedule("c", "d2h", s3, 1.0)
+    assert b.start == a.end and c.start == b.end
+    assert a.seq in b.deps and b.seq in c.deps
+
+
+def test_wait_event_applies_to_next_op_only(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    op = dev.schedule("a", "h2d", s1, 5.0)
+    s2.wait_event(s1.record_event())
+    first = dev.schedule("b", "mpi", s2, 1.0)
+    second = dev.schedule("c", "mpi", s2, 1.0)
+    assert op.seq in first.deps
+    assert op.seq not in second.deps       # ordered transitively via s2
+
+
+def test_synchronize_advances_epoch_and_clears_pending(dev):
+    s1, s2 = dev.create_stream(), dev.create_stream()
+    a = dev.schedule("a", "h2d", s1, 1.0)
+    s2.wait_event(s1.record_event())
+    dev.synchronize()
+    b = dev.schedule("b", "mpi", s2, 1.0)
+    assert b.epoch == a.epoch + 1
+    assert a.seq not in b.deps             # barrier superseded the edge
+
+
+def test_reset_clears_ordering_state(dev):
+    s = dev.create_stream()
+    dev.schedule("a", "kernel", s, 1.0)
+    dev.synchronize()
+    dev.reset()
+    op = dev.schedule("b", "kernel", s, 1.0)
+    assert op.seq == 0 and op.epoch == 0 and op.deps == ()
