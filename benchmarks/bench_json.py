@@ -1,0 +1,35 @@
+"""Machine-readable benchmark artifacts.
+
+The text reports under ``benchmarks/reports/`` are for humans (and
+EXPERIMENTS.md); this helper writes the same numbers as JSON so other
+tooling — dashboards, regression trackers, the serve benchmark's CI
+gate — can consume them without parsing tables.  Each benchmark that
+wants a JSON artifact calls::
+
+    from bench_json import write_bench_json
+    write_bench_json("serve", {"fifo": {...}, "sjf": {...}})
+
+which writes ``benchmarks/reports/BENCH_serve.json`` (sorted keys,
+trailing newline, deterministic for a deterministic payload).
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+__all__ = ["write_bench_json"]
+
+
+def write_bench_json(name: str, payload: dict,
+                     report_dir: "pathlib.Path | str | None" = None
+                     ) -> pathlib.Path:
+    """Write ``payload`` as ``BENCH_<name>.json`` under ``report_dir``
+    (default ``benchmarks/reports/``) and return the path."""
+    directory = pathlib.Path(report_dir) if report_dir else REPORT_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path

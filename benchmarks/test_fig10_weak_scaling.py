@@ -8,6 +8,7 @@ overlap advantage is ~14%; weak-scaling efficiency >= 93% (6324x6052x48 on
 """
 import pytest
 
+from bench_json import write_bench_json
 from repro.perf.report import ComparisonReport, format_table
 from repro.perf.scaling import weak_scaling_efficiency, weak_scaling_sweep
 
@@ -37,6 +38,18 @@ def test_fig10_weak_scaling(benchmark, emit):
             rel_tol=0.35)
     rep.add("weak-scaling efficiency [%]", 93.0, 100 * eff, rel_tol=0.05)
     emit(table + "\n\n" + rep.render())
+    write_bench_json("fig10_weak_scaling", {
+        "tflops_overlap_528": last.tflops_overlap,
+        "overlap_gain_528": last.overlap_gain,
+        "weak_scaling_efficiency": eff,
+        "points": [
+            {"n_gpus": p.n_gpus, "px": p.px, "py": p.py,
+             "mesh": list(p.mesh), "tflops_overlap": p.tflops_overlap,
+             "tflops_nonoverlap": p.tflops_nonoverlap,
+             "tflops_cpu": p.tflops_cpu}
+            for p in points
+        ],
+    })
 
     assert last.tflops_overlap == pytest.approx(15.0, rel=0.07)
     assert eff >= 0.90

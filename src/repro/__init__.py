@@ -42,6 +42,13 @@ Subpackages
     the unified run facade: ``RunSpec`` -> ``Experiment`` -> ``RunResult``
     over the cpu / gpu / multigpu backends — the single way entry points
     construct and drive runs.
+``repro.serve``
+    forecast-as-a-service over the run facade: a virtual ``GpuFleet``
+    with atomic gang allocation, FIFO/priority/SJF gang scheduling with
+    EASY backfill, bounded-queue load shedding, a content-addressed
+    result cache keyed on ``RunSpec.spec_hash()``, and the
+    deterministic modeled-time ``ForecastService`` event loop behind
+    ``repro serve`` (see docs/SERVING.md).
 """
 from . import constants
 from .api import Experiment, RunResult, RunSpec

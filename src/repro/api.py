@@ -30,6 +30,10 @@ itself guarantees this (see :mod:`repro.resilience.checkpoint`).
 from __future__ import annotations
 
 import contextlib
+import dataclasses
+import enum
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
@@ -84,14 +88,36 @@ def make_case(workload: str, **kwargs):
 
 
 def parse_ranks(spec: "str | tuple[int, int] | None") -> tuple[int, int] | None:
-    """Parse a process-grid spec ('2x3' or a (px, py) tuple)."""
+    """Parse a process-grid spec ('2x3' or a (px, py) tuple).
+
+    Raises :class:`ValueError` for malformed shapes ('2x3x4', 'abc') and
+    for non-positive rank counts ('0x2', (2, -1)) — a decomposition needs
+    at least one rank along each axis.
+    """
     if spec is None:
         return None
     if isinstance(spec, str):
-        px, py = (int(x) for x in spec.lower().split("x"))
-        return px, py
-    px, py = spec
-    return int(px), int(py)
+        parts = spec.lower().split("x")
+        if len(parts) != 2:
+            raise ValueError(
+                f"ranks spec {spec!r} must be 'PXxPY', e.g. '2x3'")
+        try:
+            px, py = (int(p) for p in parts)
+        except ValueError:
+            raise ValueError(
+                f"ranks spec {spec!r} must be 'PXxPY' with integer "
+                f"rank counts") from None
+    else:
+        try:
+            px, py = spec
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"ranks spec {spec!r} must be a (px, py) pair") from None
+        px, py = int(px), int(py)
+    if px < 1 or py < 1:
+        raise ValueError(
+            f"rank counts must be >= 1 along both axes, got {px}x{py}")
+    return px, py
 
 
 @dataclass
@@ -155,6 +181,58 @@ class RunSpec:
         return replace(self, backend=backend, ranks=ranks,
                        faults=FaultPlan.parse(self.faults))
 
+    # ---------------------------------------------------------- identity
+    #: fields that do not change what a run computes — trace/metrics
+    #: outputs and filesystem paths — and are therefore excluded from
+    #: :meth:`spec_hash` (two runs differing only here produce
+    #: bit-identical result fields)
+    _NON_SEMANTIC_FIELDS = frozenset({
+        "trace_path", "trace_jsonl", "metrics", "profile", "summary",
+        "history_path", "history_every", "checkpoint_dir",
+    })
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """JSON-ready dict of the *semantic* fields of the normalized
+        spec — the identity a result cache may key on."""
+        spec = self.normalized()
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(spec):
+            if f.name in self._NON_SEMANTIC_FIELDS:
+                continue
+            out[f.name] = _canonical_value(getattr(spec, f.name))
+        return out
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the run: sha256 over the canonical
+        JSON of :meth:`canonical_dict`.
+
+        Two specs that normalize to the same computation (e.g. ranks
+        given as ``"2x2"`` vs ``(2, 2)``, backend ``auto`` vs its
+        resolution) hash identically; observability-only fields (trace
+        paths, metrics flags, history output) never affect the hash.
+        """
+        payload = json.dumps(self.canonical_dict(), sort_keys=True,
+                             separators=(",", ":"), default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _canonical_value(value: Any) -> Any:
+    """Reduce a RunSpec field value to a canonical JSON-ready form."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, FaultPlan):
+        return [_canonical_value(ev) for ev in value.events]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _canonical_value(v)
+                for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return repr(value)
+
 
 @dataclass
 class RunResult:
@@ -177,6 +255,13 @@ class RunResult:
     resumed_from: int | None = None
     halo_messages: int = 0
     halo_bytes: int = 0
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash identifying the computation that produced this
+        result (:meth:`RunSpec.spec_hash`) — the key a result cache
+        stores it under."""
+        return self.spec.spec_hash()
 
     def resilience_report(self) -> str:
         parts = [f"{len(self.fault_log)} faults fired"]

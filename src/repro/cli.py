@@ -15,6 +15,10 @@ Commands
 ``analyze``  run the compute-sanitizer (docs/ANALYSIS.md): asuca-lint,
              racecheck over the overlap methods, and sanitized smoke runs;
              exits nonzero on any finding (the CI gate)
+``serve``    operate a forecast service on a virtual GPU fleet: replay a
+             JSONL workload (or a seeded Poisson stream) through the gang
+             scheduler + result cache and print the service report
+             (docs/SERVING.md)
 ``info``     device specs and calibration anchors
 
 The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
@@ -137,6 +141,55 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--seed-hazard", default=None,
                     choices=["missing-event", "uaf"],
                     help=argparse.SUPPRESS)  # test fixture: plant a fault
+
+    srv = sub.add_parser(
+        "serve",
+        help="operate a forecast service on a virtual GPU fleet "
+             "(docs/SERVING.md)")
+    srv.add_argument("--workload-file", type=str, default=None,
+                     metavar="FILE.jsonl",
+                     help="replay this JSONL workload (default: a "
+                          "synthetic seeded Poisson workload)")
+    srv.add_argument("--jobs", type=int, default=30,
+                     help="synthetic workload size (ignored with "
+                          "--workload-file)")
+    srv.add_argument("--rate", type=float, default=80.0,
+                     help="synthetic Poisson arrival rate [jobs per "
+                          "modeled second]")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="synthetic workload seed (same seed = same "
+                          "workload = same report)")
+    srv.add_argument("--gpus", type=int, default=8,
+                     help="fleet size")
+    srv.add_argument("--device", default="s1070",
+                     choices=["s1070", "m2050"],
+                     help="fleet device spec")
+    srv.add_argument("--policy", default="fifo",
+                     choices=["fifo", "priority", "sjf"],
+                     help="queue ordering policy")
+    srv.add_argument("--queue-limit", type=int, default=64,
+                     help="queue bound; submissions beyond it are shed")
+    srv.add_argument("--no-backfill", action="store_true",
+                     help="disable EASY backfill behind gang "
+                          "reservations")
+    srv.add_argument("--cache-size", type=int, default=64,
+                     help="result-cache capacity (0 disables caching)")
+    srv.add_argument("--faults", type=str, default=None, metavar="PLAN",
+                     help="service-level crash plan; CRASH events are "
+                          "keyed by job index, e.g. crash@3:x5 crashes "
+                          "job 3 on five consecutive attempts")
+    srv.add_argument("--max-retries", type=int, default=2,
+                     help="job retries before eviction")
+    srv.add_argument("--no-execute", action="store_true",
+                     help="schedule only (skip the real runs); for "
+                          "scheduling studies on huge fleets")
+    srv.add_argument("--trace", type=str, default=None, metavar="OUT.json",
+                     help="export the whole service run as one Chrome "
+                          "trace (per-job spans + queue-depth counters)")
+    srv.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    srv.add_argument("--jobs-table", action="store_true",
+                     help="append the per-job table to the text report")
 
     sub.add_parser("info", help="device specs and calibration anchors")
 
@@ -376,6 +429,58 @@ def _cmd_analyze(args) -> int:
     return report.exit_status()
 
 
+# -------------------------------------------------------------------- serve
+def _cmd_serve(args) -> int:
+    """Operate a :class:`~repro.serve.ForecastService` over a workload
+    file or a synthetic Poisson stream, and print the service report."""
+    import json as _json
+
+    from .gpu.spec import device_spec
+    from .resilience.retry import RetryPolicy
+    from .serve import ForecastService, GpuFleet, load_workload, poisson_workload
+
+    if args.workload_file:
+        try:
+            submissions = load_workload(args.workload_file)
+        except (OSError, ValueError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+    else:
+        submissions = poisson_workload(args.jobs, rate=args.rate,
+                                       seed=args.seed)
+
+    session = None
+    if args.trace:
+        from .obs import TraceSession
+
+        session = TraceSession(name="serve")
+    service = ForecastService(
+        GpuFleet(args.gpus, device_spec(args.device)),
+        policy=args.policy,
+        queue_limit=args.queue_limit,
+        backfill=not args.no_backfill,
+        cache_capacity=args.cache_size,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        faults=args.faults,
+        session=session,
+        execute=not args.no_execute,
+    )
+    report = service.run(submissions)
+    if session is not None:
+        from .obs import write_chrome_trace
+
+        session.finalize()
+        print(f"trace: {write_chrome_trace(session, args.trace)}",
+              file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(jobs_table=args.jobs_table))
+    # failures are part of a service report, not a CLI error; only a
+    # fleet that completed nothing signals trouble
+    return 0 if (report.n_done + report.n_cached) or not report.n_submitted else 1
+
+
 # --------------------------------------------------------------------- info
 def _cmd_info(_args) -> int:
     from .gpu.spec import FERMI_M2050, OPTERON_CORE, Precision, TESLA_S1070
@@ -407,6 +512,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "reproduce":
         from .reproduce import write_experiments
 

@@ -18,6 +18,8 @@ __all__ = [
     "TESLA_S1070",
     "FERMI_M2050",
     "OPTERON_CORE",
+    "DEVICE_SPECS",
+    "device_spec",
     "GIB",
 ]
 
@@ -114,6 +116,24 @@ FERMI_M2050 = DeviceSpec(
     saturation_points=120_000.0,
 )
 
+#: short names accepted wherever a device spec is chosen by string
+#: (``repro serve --device ...``, fleet construction)
+DEVICE_SPECS: dict[str, DeviceSpec] = {}
+
+
+def device_spec(name: "str | DeviceSpec") -> DeviceSpec:
+    """Look up a :class:`DeviceSpec` by short name ('s1070', 'm2050',
+    'opteron'), case-insensitively; passes specs through unchanged."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return DEVICE_SPECS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; choose one of "
+            f"{', '.join(sorted(DEVICE_SPECS))}") from None
+
+
 #: one 2.4 GHz Opteron core running the original Fortran (paper Fig. 4
 #: baseline).  ``compute_efficiency`` is calibrated so the sustained
 #: double-precision throughput of the production code is ~0.53 GFlops
@@ -129,3 +149,9 @@ OPTERON_CORE = DeviceSpec(
     compute_efficiency=0.11,
     saturation_points=0.0,
 )
+
+DEVICE_SPECS.update({
+    "s1070": TESLA_S1070,
+    "m2050": FERMI_M2050,
+    "opteron": OPTERON_CORE,
+})

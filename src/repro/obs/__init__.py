@@ -28,6 +28,7 @@ from .exporters import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
+    CounterRecord,
     DeviceOpRecord,
     FlowRecord,
     InstantRecord,
@@ -40,7 +41,8 @@ from .trace import (
 
 __all__ = [
     "TraceSession", "use_session", "active_session", "span",
-    "SpanRecord", "InstantRecord", "DeviceOpRecord", "FlowRecord",
+    "SpanRecord", "InstantRecord", "DeviceOpRecord", "CounterRecord",
+    "FlowRecord",
     "collect_device", "collect_comm",
     "chrome_trace", "write_chrome_trace",
     "jsonl_events", "write_jsonl", "summary_text",

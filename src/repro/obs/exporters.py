@@ -62,6 +62,7 @@ def _track_maps(session: TraceSession) -> tuple[dict[str, int], dict[tuple[str, 
     labels = {rec.pid for rec in session.spans}
     labels |= {rec.pid for rec in session.instants}
     labels |= {rec.pid for rec in session.device_ops}
+    labels |= {rec.pid for rec in session.counters}
     labels |= {f.src_pid for f in session.flows} | {f.dst_pid for f in session.flows}
     for label in ["host"] + sorted(labels - {"host"}):
         if label in labels or label == "host":
@@ -114,6 +115,13 @@ def chrome_trace(session: TraceSession) -> dict[str, Any]:
             "args": {"flops": rec.flops, "bytes": rec.bytes_moved,
                      "tag": rec.tag},
         })
+    for rec in session.counters:
+        # counter events are per-process; tid is ignored by CTF viewers
+        events.append({
+            "ph": "C", "name": rec.name, "ts": _us(rec.ts),
+            "pid": pids[rec.pid], "tid": 0,
+            "args": {rec.series: rec.value},
+        })
     for f in session.flows:
         src_pid, src_tid = pids[f.src_pid], tids[(f.src_pid, f.src_tid)]
         dst_pid, dst_tid = pids[f.dst_pid], tids[(f.dst_pid, f.dst_tid)]
@@ -162,6 +170,9 @@ def jsonl_events(session: TraceSession) -> Iterator[dict[str, Any]]:
                "ts": rec.ts, "dur": rec.dur, "pid": rec.pid,
                "tid": rec.tid, "flops": rec.flops,
                "bytes": rec.bytes_moved, "tag": rec.tag}
+    for rec in session.counters:
+        yield {"type": "counter", "name": rec.name, "ts": rec.ts,
+               "value": rec.value, "pid": rec.pid, "series": rec.series}
     for f in session.flows:
         yield {"type": "flow", "name": f.name, "id": f.flow_id,
                "src": {"pid": f.src_pid, "tid": f.src_tid, "ts": f.ts_src},

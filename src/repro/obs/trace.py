@@ -35,6 +35,7 @@ __all__ = [
     "SpanRecord",
     "InstantRecord",
     "DeviceOpRecord",
+    "CounterRecord",
     "FlowRecord",
     "TraceSession",
     "use_session",
@@ -103,6 +104,22 @@ class DeviceOpRecord:
 
 
 @dataclass
+class CounterRecord:
+    """One sample of a numeric time series (a Chrome-trace 'C' counter
+    event) — queue depth, fleet utilization, and the like.  ``ts`` is in
+    whatever time base the producing track group uses (wall seconds for
+    host tracks, modeled seconds for service/device tracks)."""
+
+    name: str
+    ts: float
+    value: float
+    pid: str = "host"
+    #: series label inside the counter (CTF draws one stacked area per
+    #: args key; the default single series is called 'value')
+    series: str = "value"
+
+
+@dataclass
 class FlowRecord:
     """One message arrow from a source track to a destination track."""
 
@@ -135,6 +152,7 @@ class TraceSession:
         self.instants: list[InstantRecord] = []
         self.device_ops: list[DeviceOpRecord] = []
         self.flows: list[FlowRecord] = []
+        self.counters: list[CounterRecord] = []
         #: track-group label -> collected GPUDevice (for summary reuse)
         self.devices: dict[str, Any] = {}
         #: free-form text attachments (e.g. the per-pair traffic report)
@@ -181,6 +199,21 @@ class TraceSession:
         rec = InstantRecord(name=name, ts=self.now() if ts is None else ts,
                             pid=pid, tid=tid, cat=cat, args=args or {})
         self.instants.append(rec)
+        return rec
+
+    def record_counter(
+        self,
+        name: str,
+        value: float,
+        ts: float | None = None,
+        *,
+        pid: str = "host",
+        series: str = "value",
+    ) -> CounterRecord:
+        """Sample a counter time series (exported as a CTF 'C' event)."""
+        rec = CounterRecord(name=name, ts=self.now() if ts is None else ts,
+                            value=float(value), pid=pid, series=series)
+        self.counters.append(rec)
         return rec
 
     # -------------------------------------------------------- collectors

@@ -40,6 +40,7 @@ __all__ = [
     "StepCost",
     "asuca_step_cost",
     "cpu_step_time",
+    "modeled_run_seconds",
     "DEFAULT_NS",
 ]
 
@@ -237,6 +238,42 @@ def asuca_step_cost(
         kernel_times=times,
         kernel_flops=flops,
     )
+
+
+def modeled_run_seconds(
+    nx: int,
+    ny: int,
+    nz: int,
+    steps: int,
+    *,
+    spec: DeviceSpec = TESLA_S1070,
+    precision: Precision = Precision.SINGLE,
+    ranks: "tuple[int, int] | None" = None,
+    backend: str = "gpu",
+    include_ice: bool = False,
+    ns: int = DEFAULT_NS,
+) -> float:
+    """Modeled service time of a whole run: ``steps`` long steps of an
+    ``nx x ny x nz`` mesh on ``spec`` hardware.
+
+    With ``ranks=(px, py)`` the mesh is 2-D decomposed and the per-step
+    time is that of one rank's subdomain (compute only — halo traffic is
+    the overlap model's concern, not the scheduler's); ``backend='cpu'``
+    prices the run as the original Fortran on one Opteron-class core.
+    This is what :mod:`repro.serve` charges a job against the fleet.
+    """
+    if steps <= 0:
+        return 0.0
+    if backend == "cpu":
+        return steps * cpu_step_time(nx, ny, nz, ns=ns)
+    lx, ly = nx, ny
+    if ranks is not None:
+        px, py = ranks
+        lx = -(-nx // px)       # ceil: the largest subdomain paces the gang
+        ly = -(-ny // py)
+    step = asuca_step_cost(lx, ly, nz, spec=spec, precision=precision,
+                           ns=ns, include_ice=include_ice)
+    return steps * step.total_time
 
 
 def cpu_step_time(

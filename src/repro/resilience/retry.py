@@ -60,6 +60,17 @@ class RetryPolicy:
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
 
+    @property
+    def max_attempts(self) -> int:
+        """Total execution attempts allowed (the first try + retries).
+        :class:`repro.serve.service.ForecastService` evicts a job once
+        its crash count reaches this."""
+        return self.max_retries + 1
+
+    def allows(self, failures: int) -> bool:
+        """May the work be retried after ``failures`` failed attempts?"""
+        return failures <= self.max_retries
+
     def backoff(self, attempt: int) -> float:
         """Modeled backoff before retry ``attempt`` (0-based)."""
         return min(self.backoff_base * self.backoff_factor ** attempt,

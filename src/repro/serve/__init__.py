@@ -1,0 +1,50 @@
+"""repro.serve — forecast-as-a-service on a virtual GPU fleet.
+
+The paper's endgame is *operational* weather prediction on a shared
+cluster: 528 Tesla S1070 GPUs on TSUBAME 1.2, projected to TSUBAME 2.0
+(Sec. VI/VII), serving many forecast configurations at once.  This
+subsystem turns the repo's single-run facade into that regime:
+
+* :class:`GpuFleet` — N identical devices with atomic gang allocation
+  and per-GPU modeled busy-time (:mod:`repro.serve.fleet`);
+* :class:`GangScheduler` — FIFO / priority / shortest-job-first queue
+  ordering, EASY-style gang reservations with backfill, and bounded-
+  queue backpressure returning typed :class:`QueueFull` shed records
+  (:mod:`repro.serve.scheduler`);
+* :class:`Job` — a :class:`~repro.api.RunSpec` wrapped with priority,
+  deadline, gang width, modeled service time, and the QUEUED ->
+  SCHEDULED -> RUNNING -> DONE/FAILED/EVICTED/CACHED lifecycle
+  (:mod:`repro.serve.jobs`);
+* :class:`ResultCache` — content-addressed LRU over
+  :meth:`~repro.api.RunSpec.spec_hash`, so duplicate submissions return
+  bit-identical cached results for free (:mod:`repro.serve.cache`);
+* :class:`ForecastService` — the modeled-time event loop that schedules,
+  really executes each job through :class:`~repro.api.Experiment`,
+  charges fleet seconds from the perf cost model, recovers injected
+  crashes via the resilience retry policy, and traces everything into
+  one :class:`~repro.obs.TraceSession` (:mod:`repro.serve.service`);
+* workload files and the seeded Poisson generator
+  (:mod:`repro.serve.workload`), replayed by the ``repro serve`` CLI.
+
+See docs/SERVING.md for architecture, policies, and the report format.
+"""
+from .cache import ResultCache
+from .fleet import GpuFleet
+from .jobs import Job, JobState
+from .scheduler import GangScheduler, Policy, QueueFull
+from .service import ForecastService, ServiceReport
+from .workload import (
+    Submission,
+    dump_workload,
+    load_workload,
+    poisson_workload,
+)
+
+__all__ = [
+    "GpuFleet",
+    "GangScheduler", "Policy", "QueueFull",
+    "Job", "JobState",
+    "ResultCache",
+    "ForecastService", "ServiceReport",
+    "Submission", "load_workload", "dump_workload", "poisson_workload",
+]

@@ -1,0 +1,458 @@
+"""The forecast service: a modeled-time event loop over the fleet.
+
+:class:`ForecastService` turns the repo's single-run facade into an
+operated service.  Submissions arrive on a modeled clock; each is either
+answered from the result cache, shed by queue backpressure, or gang-
+scheduled onto the :class:`~repro.serve.fleet.GpuFleet` where it
+occupies its GPUs for the modeled service time priced by
+:func:`repro.perf.costmodel.modeled_run_seconds`.  A *running* job
+really executes — the :class:`~repro.api.Experiment` facade drives the
+actual dycore — so cached results are bit-identical to fresh ones.
+
+Failure handling consults the resilience layer: a service-level
+:class:`~repro.resilience.faults.FaultPlan` whose CRASH events are keyed
+by *job index* kills that job's attempt partway through; the
+:class:`~repro.resilience.retry.RetryPolicy` then prices the backoff
+before the requeue and bounds the attempts before eviction.  A job spec
+that checkpoints (``checkpoint_every``) restarts its retry from the last
+modeled checkpoint instead of from scratch — the same economics the
+checkpoint-restart machinery buys a single run.
+
+Everything observable flows through one :class:`~repro.obs.TraceSession`
+when given: per-job spans on per-GPU fleet tracks (modeled time),
+cache/shed/evict instants, and queue-depth / GPUs-in-use counter series
+— a whole service run exports as one Chrome trace.
+
+Determinism: no wall clock anywhere on this path.  Replaying the same
+workload against the same configuration yields an identical
+:class:`ServiceReport`, asserted by tests/serve/test_service.py.
+"""
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..api import Experiment, RunResult
+from ..obs.trace import TraceSession
+from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.retry import RetryPolicy
+from .cache import ResultCache
+from .fleet import GpuFleet
+from .jobs import Job, JobState
+from .scheduler import GangScheduler, Policy
+from .workload import Submission
+
+__all__ = ["ForecastService", "ServiceReport"]
+
+#: fraction of an attempt's modeled duration that elapses before an
+#: injected crash kills it (deterministic by design)
+CRASH_FRACTION = 0.5
+
+#: cache value for runs completed with ``execute=False`` — the schedule
+#: is real but no arrays were computed
+_MODELED = object()
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    arr = np.asarray(values, dtype=float)
+    return {"mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "max": float(arr.max())}
+
+
+@dataclass
+class ServiceReport:
+    """What a service run hands back — modeled quantities only, so a
+    replay reproduces it exactly."""
+
+    fleet: str
+    n_gpus: int
+    policy: str
+    queue_limit: int
+    backfill: bool
+    n_submitted: int = 0
+    n_done: int = 0
+    n_cached: int = 0
+    n_shed: int = 0
+    n_evicted: int = 0
+    n_failed: int = 0
+    crashes: int = 0
+    retries: int = 0
+    backfills: int = 0
+    deadline_misses: int = 0
+    makespan_s: float = 0.0
+    throughput_jobs_per_s: float = 0.0
+    utilization: float = 0.0
+    peak_gpus: int = 0
+    wait_s: dict[str, float] = field(default_factory=dict)
+    turnaround_s: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    shed_rate: float = 0.0
+    jobs: list[dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready (and replay-comparable) form of the report."""
+        out = dict(self.__dict__)
+        out["jobs"] = [dict(j) for j in self.jobs]
+        return out
+
+    def render(self, *, jobs_table: bool = False) -> str:
+        completed = self.n_done + self.n_cached
+        lines = [
+            f"forecast service report — {self.fleet}",
+            f"  policy {self.policy} (backfill "
+            f"{'on' if self.backfill else 'off'}), "
+            f"queue limit {self.queue_limit}",
+            f"  jobs: {self.n_submitted} submitted, {self.n_done} run, "
+            f"{self.n_cached} cached, {self.n_shed} shed, "
+            f"{self.n_evicted} evicted, {self.n_failed} failed",
+            f"  completed {completed} in {self.makespan_s:.3f} modeled s "
+            f"-> {self.throughput_jobs_per_s:.3f} jobs/s",
+            f"  wait       p50 {self.wait_s.get('p50', 0):.3f}s  "
+            f"p95 {self.wait_s.get('p95', 0):.3f}s  "
+            f"mean {self.wait_s.get('mean', 0):.3f}s",
+            f"  turnaround p50 {self.turnaround_s.get('p50', 0):.3f}s  "
+            f"p95 {self.turnaround_s.get('p95', 0):.3f}s  "
+            f"mean {self.turnaround_s.get('mean', 0):.3f}s",
+            f"  fleet utilization {100 * self.utilization:.1f}%  "
+            f"(peak {self.peak_gpus}/{self.n_gpus} GPUs)",
+            f"  cache: {self.cache_hits} hits / {self.cache_misses} "
+            f"misses ({100 * self.cache_hit_rate:.1f}% hit rate)",
+            f"  backpressure: {self.n_shed} shed "
+            f"({100 * self.shed_rate:.1f}%)",
+            f"  resilience: {self.crashes} crashes, {self.retries} "
+            f"retries, {self.n_evicted} evictions",
+        ]
+        if self.deadline_misses:
+            lines.append(f"  deadlines missed: {self.deadline_misses}")
+        if self.backfills:
+            lines.append(f"  backfilled starts: {self.backfills}")
+        if jobs_table and self.jobs:
+            lines.append("")
+            lines.append(f"  {'job':>4} {'workload':<14} {'g':>2} "
+                         f"{'state':<9} {'arrive':>8} {'start':>8} "
+                         f"{'finish':>8} {'wait':>7} {'att':>3} hash")
+            def _col(v, width):
+                return f"{'-':>{width}}" if v is None else f"{v:>{width}.3f}"
+
+            for j in self.jobs:
+                lines.append(
+                    f"  {j['index']:>4} {j['workload']:<14} "
+                    f"{j['gpus']:>2} {j['state']:<9} "
+                    f"{j['arrival']:>8.3f} "
+                    f"{_col(j['started_at'], 8)} "
+                    f"{_col(j['finished_at'], 8)} "
+                    f"{_col(j['wait'], 7)} "
+                    f"{j['attempts']:>3} {j['spec_hash'][:8]}")
+        return "\n".join(lines)
+
+
+class ForecastService:
+    """Operate a fleet: queue, schedule, execute, cache, recover."""
+
+    def __init__(
+        self,
+        fleet: GpuFleet,
+        *,
+        policy: "Policy | str" = Policy.FIFO,
+        queue_limit: int = 64,
+        backfill: bool = True,
+        cache: "ResultCache | None" = None,
+        cache_capacity: int = 64,
+        retry: "RetryPolicy | None" = None,
+        faults: "FaultPlan | str | None" = None,
+        session: "TraceSession | None" = None,
+        execute: bool = True,
+    ):
+        self.fleet = fleet
+        self.scheduler = GangScheduler(policy, max_depth=queue_limit,
+                                       backfill=backfill)
+        self.cache = cache if cache is not None else ResultCache(cache_capacity)
+        self.retry = retry if retry is not None else RetryPolicy(max_retries=2)
+        plan = FaultPlan.parse(faults)
+        self.injector = FaultInjector(plan) if len(plan) else None
+        self.session = session
+        #: False skips the real Experiment execution (pure scheduling
+        #: studies on huge fleets); results/cache hits are then modeled
+        self.execute = execute
+        self.jobs: list[Job] = []
+        self._running: dict[int, float] = {}    # job index -> finish time
+        self._events: list[tuple[float, int, str, Any]] = []
+        self._seq = 0
+        self._clock = 0.0
+        #: executed results by spec hash: identical specs reuse the
+        #: computed arrays (runs are deterministic) even after the LRU
+        #: cache evicted the entry — an execution shortcut, not a cache
+        #: hit, because the job still pays its full modeled service time
+        self._computed: dict[str, RunResult] = {}
+
+    # ------------------------------------------------------------ events
+    def _push(self, t: float, kind: str, payload: Any) -> None:
+        heapq.heappush(self._events, (t, self._seq, kind, payload))
+        self._seq += 1
+
+    def _sample_counters(self) -> None:
+        if self.session is None:
+            return
+        t = self._clock
+        self.session.record_counter("queue.depth", self.scheduler.depth,
+                                    t, pid="service")
+        self.session.record_counter("fleet.gpus_in_use", self.fleet.in_use,
+                                    t, pid="service")
+        self.session.record_counter("jobs.running", len(self._running),
+                                    t, pid="service")
+
+    def _instant(self, name: str, **args) -> None:
+        if self.session is not None:
+            self.session.record_instant(name, self._clock, pid="service",
+                                        tid="events", cat="serve",
+                                        args=args or None)
+
+    # -------------------------------------------------------------- run
+    def run(self, submissions: list[Submission]) -> ServiceReport:
+        """Replay ``submissions`` to completion and report."""
+        if self.jobs:
+            raise RuntimeError("a ForecastService instance runs once")
+        for i, sub in enumerate(submissions):
+            job = Job.from_spec(i, sub.spec, arrival=sub.t,
+                                priority=sub.priority,
+                                deadline=sub.deadline,
+                                device=self.fleet.spec)
+            self.jobs.append(job)
+            self._push(sub.t, "arrive", job)
+
+        while self._events:
+            t, _, kind, payload = heapq.heappop(self._events)
+            self._clock = max(self._clock, t)
+            getattr(self, f"_on_{kind}")(payload)
+            # batch-process simultaneous events before scheduling, so a
+            # same-instant release + arrival see one consistent fleet
+            if self._events and self._events[0][0] <= self._clock:
+                continue
+            self._schedule_pass()
+            self._sample_counters()
+        return self._report()
+
+    # ---------------------------------------------------- event handlers
+    def _on_arrive(self, job: Job) -> None:
+        if job.gpus_needed > self.fleet.n_gpus:
+            job.state = JobState.FAILED
+            job.finished_at = self._clock
+            job.error = (f"needs {job.gpus_needed} GPUs, fleet has "
+                         f"{self.fleet.n_gpus}")
+            job.note(self._clock, "rejected")
+            self._instant(f"reject job{job.index}", reason=job.error)
+            return
+        cached = self.cache.get(job.spec_hash)
+        if cached is not None:
+            job.state = JobState.CACHED
+            job.result = cached if isinstance(cached, RunResult) else None
+            job.finished_at = self._clock
+            job.note(self._clock, "cache-hit")
+            self._instant(f"cache-hit job{job.index}",
+                          spec_hash=job.spec_hash[:12])
+            return
+        shed = self.scheduler.submit(job, self._clock)
+        if shed is not None:
+            self._instant(f"shed job{job.index}", depth=shed.depth,
+                          limit=shed.limit)
+
+    def _on_requeue(self, job: Job) -> None:
+        self.scheduler.requeue(job, self._clock)
+
+    def _on_finish(self, job: Job) -> None:
+        dur = self._release(job)
+        job.state = JobState.DONE
+        job.finished_at = self._clock
+        job.note(self._clock, "done")
+        self._job_span(job, dur, ok=True)
+        self.cache.put(job.spec_hash,
+                       job.result if job.result is not None else _MODELED)
+
+    def _on_crash(self, job: Job) -> None:
+        dur = self._release(job)
+        job.crashes += 1
+        job.note(self._clock, f"crashed (attempt {job.attempts})")
+        self._job_span(job, dur, ok=False)
+        # a checkpointing job resumes its retry from the last modeled
+        # checkpoint; others restart the attempt from scratch
+        spec = job.spec
+        if spec.checkpoint_every > 0 and spec.steps > 0:
+            frac = spec.checkpoint_every / spec.steps
+            reached = job.progress + CRASH_FRACTION * (1.0 - job.progress)
+            job.progress = min(1.0, int(reached / frac) * frac)
+        if self.retry.allows(job.crashes):
+            backoff = self.retry.backoff(job.crashes - 1)
+            job.state = JobState.QUEUED
+            self._push(self._clock + backoff, "requeue", job)
+            self._instant(f"retry job{job.index}", attempt=job.attempts,
+                          backoff_s=backoff)
+        else:
+            job.state = JobState.EVICTED
+            job.finished_at = self._clock
+            job.error = (f"evicted after {job.attempts} attempts "
+                         f"({job.crashes} crashes)")
+            job.note(self._clock, "evicted")
+            self._instant(f"evict job{job.index}", attempts=job.attempts)
+
+    # -------------------------------------------------------- scheduling
+    def _schedule_pass(self) -> None:
+        running = [(finish, self.jobs[idx].gpus_needed)
+                   for idx, finish in self._running.items()]
+        for job in self.scheduler.select(self.fleet, running, self._clock):
+            self._start(job)
+
+    def _start(self, job: Job) -> None:
+        gpus = self.fleet.acquire(job.index, job.gpus_needed)
+        assert gpus is not None, "scheduler started more than fits"
+        job.gpu_ids = gpus
+        job.attempts += 1
+        job.started_at = self._clock
+        job.state = JobState.RUNNING
+        job.note(self._clock, "start")
+        attempt_s = job.est_seconds * (1.0 - job.progress)
+        crashed = None
+        if self.injector is not None:
+            self.injector.begin_step(job.index)
+            crashed = self.injector.crash_rank(job.index)
+        if crashed is not None:
+            finish = self._clock + CRASH_FRACTION * attempt_s
+            self._running[job.index] = finish
+            self._push(finish, "crash", job)
+            return
+        if self.execute and job.result is None:
+            job.result = self._computed.get(job.spec_hash)
+            if job.result is None:
+                try:
+                    job.result = Experiment(job.spec).prepare().run()
+                    self._computed[job.spec_hash] = job.result
+                except Exception as exc:     # surfaced in the report
+                    job.error = f"{type(exc).__name__}: {exc}"
+        if job.error is not None:
+            # an errored run still occupied its modeled slot; it just
+            # completes as FAILED rather than DONE
+            finish = self._clock + attempt_s
+            self._running[job.index] = finish
+            self._push(finish, "fail", job)
+            return
+        finish = self._clock + attempt_s
+        self._running[job.index] = finish
+        self._push(finish, "finish", job)
+
+    def _on_fail(self, job: Job) -> None:
+        dur = self._release(job)
+        job.state = JobState.FAILED
+        job.finished_at = self._clock
+        job.note(self._clock, "failed")
+        self._job_span(job, dur, ok=False)
+        self._instant(f"fail job{job.index}", error=job.error)
+
+    def _release(self, job: Job) -> float:
+        """Free the job's GPUs, charging the modeled seconds it held
+        them; returns that duration."""
+        del self._running[job.index]
+        dur = self._clock - job.started_at
+        self.fleet.release(job.index, busy_seconds=dur)
+        return dur
+
+    def _job_span(self, job: Job, dur: float, *, ok: bool) -> None:
+        if self.session is None:
+            return
+        name = f"job{job.index} {job.spec.workload}"
+        args = {"state": "ok" if ok else job.state.value,
+                "attempt": job.attempts, "gpus": list(job.gpu_ids),
+                "spec_hash": job.spec_hash[:12]}
+        for g in job.gpu_ids:
+            self.session.record_span(
+                name, job.started_at, dur, pid="fleet",
+                tid=f"gpu{g:03d}", cat="job", args=args)
+
+    # ---------------------------------------------------------- reporting
+    def _report(self) -> ServiceReport:
+        jobs = self.jobs
+        by_state = {s: sum(1 for j in jobs if j.state is s)
+                    for s in JobState}
+        completed = [j for j in jobs
+                     if j.state in (JobState.DONE, JobState.CACHED)]
+        waits = [j.wait for j in completed if j.wait is not None]
+        turnarounds = [j.turnaround for j in completed
+                       if j.turnaround is not None]
+        makespan = max((j.finished_at for j in jobs
+                        if j.finished_at is not None), default=0.0)
+        rep = ServiceReport(
+            fleet=self.fleet.name,
+            n_gpus=self.fleet.n_gpus,
+            policy=self.scheduler.policy.value,
+            queue_limit=self.scheduler.max_depth,
+            backfill=self.scheduler.backfill,
+            n_submitted=len(jobs),
+            n_done=by_state[JobState.DONE],
+            n_cached=by_state[JobState.CACHED],
+            n_shed=by_state[JobState.SHED],
+            n_evicted=by_state[JobState.EVICTED],
+            n_failed=by_state[JobState.FAILED],
+            crashes=sum(j.crashes for j in jobs),
+            retries=sum(max(0, j.attempts - 1) for j in jobs),
+            backfills=self.scheduler.backfills,
+            deadline_misses=sum(1 for j in jobs if j.deadline_missed),
+            makespan_s=makespan,
+            throughput_jobs_per_s=(len(completed) / makespan
+                                   if makespan > 0 else 0.0),
+            utilization=self.fleet.utilization(makespan),
+            peak_gpus=self.fleet.peak_in_use,
+            wait_s=_percentiles(waits),
+            turnaround_s=_percentiles(turnarounds),
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_hit_rate=self.cache.hit_rate,
+            shed_rate=(by_state[JobState.SHED] / len(jobs)
+                       if jobs else 0.0),
+            jobs=[{
+                "index": j.index,
+                "workload": j.spec.workload,
+                "state": j.state.value,
+                "gpus": j.gpus_needed,
+                "priority": j.priority,
+                "arrival": round(j.arrival, 9),
+                "started_at": (None if j.started_at is None
+                               else round(j.started_at, 9)),
+                "finished_at": (None if j.finished_at is None
+                                else round(j.finished_at, 9)),
+                "wait": None if j.wait is None else round(j.wait, 9),
+                "turnaround": (None if j.turnaround is None
+                               else round(j.turnaround, 9)),
+                "attempts": j.attempts,
+                "spec_hash": j.spec_hash,
+            } for j in jobs],
+        )
+        if self.session is not None:
+            m = self.session.metrics
+            for key, value in (
+                ("serve.jobs.submitted", rep.n_submitted),
+                ("serve.jobs.done", rep.n_done),
+                ("serve.jobs.cached", rep.n_cached),
+                ("serve.jobs.shed", rep.n_shed),
+                ("serve.jobs.evicted", rep.n_evicted),
+                ("serve.jobs.failed", rep.n_failed),
+                ("serve.crashes", rep.crashes),
+                ("serve.retries", rep.retries),
+            ):
+                self.session.metrics.counter(key).inc(value)
+            for w in waits:
+                m.histogram("serve.wait_s").observe(w)
+            for ta in turnarounds:
+                m.histogram("serve.turnaround_s").observe(ta)
+            m.gauge("serve.utilization").set(rep.utilization)
+            m.gauge("serve.cache.hit_rate").set(rep.cache_hit_rate)
+            m.gauge("serve.makespan_s").set(rep.makespan_s)
+            m.gauge("serve.throughput_jobs_per_s").set(
+                rep.throughput_jobs_per_s)
+        return rep

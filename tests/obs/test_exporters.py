@@ -23,7 +23,7 @@ from repro.workloads.warm_bubble import make_warm_bubble_case
 N_STEPS = 2
 
 #: CTF event phases this exporter may legally emit
-KNOWN_PH = {"X", "M", "i", "s", "f"}
+KNOWN_PH = {"X", "M", "i", "s", "f", "C"}
 
 
 @pytest.fixture(scope="module")
@@ -93,6 +93,28 @@ def test_jsonl_stream(traced_run, tmp_path):
     assert {"span", "device_op", "flow", "metrics"} <= types
     assert lines[-1]["type"] == "metrics"
     assert len(lines) == sum(1 for _ in jsonl_events(session))
+
+
+def test_counter_series_exports_as_ctf_counter_events():
+    session = TraceSession("counters")
+    for t, depth in ((0.0, 0), (0.1, 3), (0.2, 1)):
+        session.record_counter("queue.depth", depth, t, pid="service")
+    session.record_counter("gpus", 2, 0.1, pid="service", series="in_use")
+    session.finalize()
+
+    doc = chrome_trace(session)
+    cs = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+    assert len(cs) == 4
+    depths = [ev for ev in cs if ev["name"] == "queue.depth"]
+    assert [ev["args"]["value"] for ev in depths] == [0, 3, 1]
+    assert [ev["ts"] for ev in depths] == [0, 100_000, 200_000]  # us
+    gpus = next(ev for ev in cs if ev["name"] == "gpus")
+    assert gpus["args"] == {"in_use": 2}
+
+    jl = [line for line in jsonl_events(session)
+          if line["type"] == "counter"]
+    assert len(jl) == 4
+    assert jl[0]["name"] == "queue.depth"
 
 
 def test_metrics_agree_with_timeline_and_traffic(traced_run):

@@ -1,0 +1,57 @@
+"""ResultCache: LRU behavior, counters, and the capacity bound."""
+import pytest
+
+from repro.serve import ResultCache
+
+
+def test_hit_miss_counters_and_hit_rate():
+    cache = ResultCache(4)
+    assert cache.get("a") is None
+    cache.put("a", "result-a")
+    assert cache.get("a") == "result-a"
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == pytest.approx(0.5)
+    # an empty cache has no lookups, not a zero division
+    assert ResultCache().hit_rate == 0.0
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")            # refresh a; b becomes the LRU entry
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.evictions == 1
+    assert cache.keys() == ["a", "c"]
+
+
+def test_put_refreshes_recency_and_overwrites():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)        # refresh + overwrite, no eviction
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 10
+    assert len(cache) == 2
+
+
+def test_contains_does_not_disturb_counters_or_recency():
+    cache = ResultCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert "a" in cache and "nope" not in cache
+    assert (cache.hits, cache.misses) == (0, 0)
+    cache.put("c", 3)         # "a" is still the LRU despite the __contains__
+    assert "a" not in cache
+
+
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(0)
+    cache.put("a", 1)
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    with pytest.raises(ValueError):
+        ResultCache(-1)

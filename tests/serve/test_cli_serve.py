@@ -1,0 +1,83 @@
+"""The ``repro serve`` subcommand: reports, JSON output, workload-file
+replay, and the exported Chrome trace."""
+import json
+
+from repro.cli import main
+from repro.serve import Submission, dump_workload, load_workload
+from repro.api import RunSpec
+
+FAST = ["--no-execute"]          # scheduling is what these tests probe
+
+
+def test_serve_prints_a_report(capsys):
+    assert main(["serve", "--jobs", "12", "--gpus", "4", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "forecast service report" in out
+    assert "12 submitted" in out
+    assert "fleet utilization" in out
+    assert "cache:" in out
+
+
+def test_serve_json_report_is_deterministic(capsys):
+    args = ["serve", "--jobs", "20", "--gpus", "4", "--seed", "7",
+            "--json", *FAST]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second
+    assert first["n_submitted"] == 20
+    assert first["policy"] == "fifo"
+
+
+def test_serve_policy_and_jobs_table(capsys):
+    assert main(["serve", "--jobs", "10", "--gpus", "4",
+                 "--policy", "sjf", "--jobs-table", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "policy sjf" in out
+    assert "workload" in out and "hash" in out   # the per-job table
+
+
+def test_serve_workload_file_round_trip(tmp_path, capsys):
+    subs = [
+        Submission(t=0.0, spec=RunSpec(workload="warm-bubble", nx=16,
+                                       ny=16, nz=8, steps=2)),
+        Submission(t=0.01, spec=RunSpec(workload="shear-layer", nx=32,
+                                        ny=4, nz=16, steps=2), priority=2),
+        Submission(t=5.0, spec=RunSpec(workload="warm-bubble", nx=16,
+                                       ny=16, nz=8, steps=2)),
+    ]
+    path = tmp_path / "wl.jsonl"
+    dump_workload(subs, str(path))
+    # the file round-trips through the loader...
+    loaded = load_workload(str(path))
+    assert [s.spec.workload for s in loaded] == [
+        "warm-bubble", "shear-layer", "warm-bubble"]
+    assert loaded[1].priority == 2
+    # ...and replays through the CLI; the t=5.0 duplicate hits the cache
+    assert main(["serve", "--workload-file", str(path), "--gpus", "2",
+                 "--json", *FAST]) == 0
+    rep = json.loads(capsys.readouterr().out)
+    assert rep["n_submitted"] == 3
+    assert rep["n_cached"] == 1
+
+
+def test_serve_writes_chrome_trace(tmp_path, capsys):
+    trace = tmp_path / "serve.json"
+    assert main(["serve", "--jobs", "8", "--gpus", "4",
+                 "--trace", str(trace), *FAST]) == 0
+    doc = json.load(open(trace))
+    phs = {ev["ph"] for ev in doc["traceEvents"]}
+    assert "C" in phs            # queue-depth counter series
+    assert "X" in phs            # per-job spans
+    counter_names = {ev["name"] for ev in doc["traceEvents"]
+                     if ev["ph"] == "C"}
+    assert "queue.depth" in counter_names
+
+
+def test_serve_faulty_workload_file_is_a_clear_error(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"t": 0.0, "workload": "warm-bubble"}\nnot json\n')
+    assert main(["serve", "--workload-file", str(bad)]) != 0
+    err = capsys.readouterr().err
+    assert "bad.jsonl:2" in err

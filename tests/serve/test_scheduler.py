@@ -1,0 +1,131 @@
+"""GangScheduler: policy ordering, bounded-queue shedding, gang
+reservations and the backfill-never-delays-the-head invariant."""
+import pytest
+
+from repro.api import RunSpec
+from repro.serve import GangScheduler, GpuFleet, JobState, Policy, QueueFull
+from repro.serve.jobs import Job
+
+SPEC = RunSpec(steps=1).normalized()
+
+
+def mkjob(index, *, gpus=1, est=1.0, arrival=0.0, priority=0):
+    return Job(index=index, spec=SPEC, priority=priority, arrival=arrival,
+               gpus_needed=gpus, est_seconds=est,
+               spec_hash=f"job{index:04d}")
+
+
+def submit_all(sched, jobs, now=0.0):
+    for job in jobs:
+        sched.submit(job, now)
+
+
+# ----------------------------------------------------------- ordering
+def test_fifo_orders_by_arrival():
+    sched = GangScheduler("fifo")
+    submit_all(sched, [mkjob(0, arrival=0.2), mkjob(1, arrival=0.1),
+                       mkjob(2, arrival=0.1)])
+    assert [j.index for j in sched._ordered()] == [1, 2, 0]
+
+
+def test_priority_orders_by_level_then_fifo():
+    sched = GangScheduler(Policy.PRIORITY)
+    submit_all(sched, [mkjob(0, priority=0), mkjob(1, priority=2),
+                       mkjob(2, priority=2, arrival=0.5), mkjob(3, priority=1)])
+    assert [j.index for j in sched._ordered()] == [1, 2, 3, 0]
+
+
+def test_sjf_orders_by_modeled_service_time():
+    sched = GangScheduler("sjf")
+    submit_all(sched, [mkjob(0, est=3.0), mkjob(1, est=1.0),
+                       mkjob(2, est=2.0)])
+    assert [j.index for j in sched._ordered()] == [1, 2, 0]
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        GangScheduler("lifo")
+
+
+# -------------------------------------------------------- backpressure
+def test_shedding_starts_exactly_at_the_bound():
+    sched = GangScheduler("fifo", max_depth=3)
+    jobs = [mkjob(i) for i in range(5)]
+    results = [sched.submit(j, now=float(i)) for i, j in enumerate(jobs)]
+    # the first max_depth submissions are admitted...
+    assert results[:3] == [None, None, None]
+    assert all(j.state is JobState.QUEUED for j in jobs[:3])
+    # ...and the bound sheds from the very next one
+    assert all(isinstance(r, QueueFull) for r in results[3:])
+    assert all(j.state is JobState.SHED for j in jobs[3:])
+    assert results[3].depth == results[3].limit == 3
+    assert results[3].t == 3.0
+    assert len(sched.shed) == 2
+    assert "queue full" in str(results[3])
+
+
+def test_requeue_bypasses_the_bound():
+    sched = GangScheduler("fifo", max_depth=1)
+    submit_all(sched, [mkjob(0)])
+    retry = mkjob(1)
+    sched.requeue(retry, now=1.0)     # a crashed job's retry is never shed
+    assert sched.depth == 2
+    assert retry.state is JobState.QUEUED
+
+
+# ------------------------------------------------- gangs and backfill
+def test_gang_blocks_until_gpus_free_atomically():
+    fleet = GpuFleet(4)
+    sched = GangScheduler("fifo")
+    gang = mkjob(0, gpus=4)
+    fleet.acquire(99, 2)              # half the fleet is busy
+    submit_all(sched, [gang])
+    assert sched.select(fleet, [(5.0, 2)], now=0.0) == []
+    assert gang.state is JobState.QUEUED
+    fleet.release(99)
+    assert sched.select(fleet, [], now=5.0) == [gang]
+    assert gang.state is JobState.SCHEDULED
+
+
+def test_backfill_fills_hole_without_delaying_reservation():
+    fleet = GpuFleet(4)
+    fleet.acquire(99, 2)              # 2 free; running job ends at t=10
+    running = [(10.0, 2)]
+    sched = GangScheduler("fifo")
+    gang = mkjob(0, gpus=4, est=1.0, arrival=0.0)
+    short = mkjob(1, gpus=1, est=5.0, arrival=1.0)    # fits, ends t<=10
+    long = mkjob(2, gpus=1, est=20.0, arrival=2.0)    # would end t=20>10
+    wide = mkjob(3, gpus=3, est=1.0, arrival=3.0)     # does not fit now
+    submit_all(sched, [gang, short, long, wide])
+
+    started = sched.select(fleet, running, now=0.0)
+    # the head gang waits on its reservation (t=10); only the short
+    # narrow job backfills — the ones that would delay the gang do not
+    assert started == [short]
+    assert short.state is JobState.SCHEDULED
+    assert sched.backfills == 1
+    assert {j.index for j in sched.queue} == {0, 2, 3}
+    assert ("backfilled" in [ev for _, ev in short.log])
+
+
+def test_no_backfill_keeps_strict_order_behind_a_gang():
+    fleet = GpuFleet(4)
+    fleet.acquire(99, 2)
+    sched = GangScheduler("fifo", backfill=False)
+    gang = mkjob(0, gpus=4)
+    small = mkjob(1, gpus=1, est=0.1, arrival=1.0)
+    submit_all(sched, [gang, small])
+    # head-of-line gang blocks everything with backfill disabled
+    assert sched.select(fleet, [(10.0, 2)], now=0.0) == []
+    assert sched.backfills == 0
+    assert sched.depth == 2
+
+
+def test_multiple_small_jobs_start_together_when_they_fit():
+    fleet = GpuFleet(4)
+    sched = GangScheduler("fifo")
+    jobs = [mkjob(i, gpus=1) for i in range(6)]
+    submit_all(sched, jobs)
+    started = sched.select(fleet, [], now=0.0)
+    assert [j.index for j in started] == [0, 1, 2, 3]
+    assert sched.depth == 2

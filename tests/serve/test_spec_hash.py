@@ -1,0 +1,87 @@
+"""RunSpec.spec_hash — the content identity the result cache keys on —
+and the hardened parse_ranks validation."""
+import pytest
+
+from repro.api import Experiment, RunSpec, parse_ranks
+
+
+# ---------------------------------------------------------- spec_hash
+def test_hash_is_stable_across_calls_and_instances():
+    a = RunSpec(workload="warm-bubble", nx=16, ny=16, nz=8, steps=3)
+    b = RunSpec(workload="warm-bubble", nx=16, ny=16, nz=8, steps=3)
+    assert a.spec_hash() == b.spec_hash() == a.spec_hash()
+    assert len(a.spec_hash()) == 64            # sha256 hex
+
+
+def test_semantic_changes_change_the_hash():
+    base = RunSpec(workload="warm-bubble", steps=3)
+    assert base.spec_hash() != RunSpec(workload="warm-bubble",
+                                       steps=4).spec_hash()
+    assert base.spec_hash() != RunSpec(workload="shear-layer",
+                                       steps=3).spec_hash()
+    assert base.spec_hash() != RunSpec(workload="warm-bubble", steps=3,
+                                       ice=True).spec_hash()
+
+
+def test_equivalent_normalizations_hash_identically():
+    # ranks as a string vs a tuple describe the same decomposition
+    s = RunSpec(backend="multigpu", ranks="2x2", steps=2)
+    t = RunSpec(backend="multigpu", ranks=(2, 2), steps=2)
+    assert s.spec_hash() == t.spec_hash()
+    # backend 'auto' resolves before hashing
+    assert (RunSpec(backend="auto", ranks=(2, 1), steps=2).spec_hash()
+            == RunSpec(backend="multigpu", ranks=(2, 1), steps=2)
+            .spec_hash())
+
+
+def test_observability_fields_never_affect_the_hash(tmp_path):
+    # backend pinned: with 'auto', tracing flags legitimately change the
+    # resolved backend (gpu vs cpu), which IS semantic
+    plain = RunSpec(steps=2, backend="gpu")
+    traced = RunSpec(steps=2, backend="gpu",
+                     trace_path=str(tmp_path / "t.json"),
+                     metrics=True, profile=True, summary=True,
+                     history_path=str(tmp_path / "h.nc"))
+    assert plain.spec_hash() == traced.spec_hash()
+
+
+def test_fault_plan_is_semantic():
+    assert (RunSpec(steps=5).spec_hash()
+            != RunSpec(steps=5, faults="drop@1").spec_hash())
+    # string and parsed forms of the same plan agree
+    from repro.resilience.faults import FaultPlan
+    assert (RunSpec(steps=5, faults="drop@1").spec_hash()
+            == RunSpec(steps=5,
+                       faults=FaultPlan.parse("drop@1")).spec_hash())
+
+
+def test_run_result_carries_the_spec_hash():
+    spec = RunSpec(workload="warm-bubble", nx=16, ny=16, nz=8, steps=1)
+    result = Experiment(spec).prepare().run()
+    assert result.spec_hash == spec.spec_hash()
+
+
+# --------------------------------------------------------- parse_ranks
+def test_parse_ranks_accepted_forms():
+    assert parse_ranks(None) is None
+    assert parse_ranks("2x3") == (2, 3)
+    assert parse_ranks("4X1") == (4, 1)        # case-insensitive
+    assert parse_ranks((3, 2)) == (3, 2)
+    assert parse_ranks([2, 2]) == (2, 2)
+
+
+@pytest.mark.parametrize("bad", ["abc", "2x", "x2", "1x2x3", "2.5x2"])
+def test_parse_ranks_rejects_malformed_strings(bad):
+    with pytest.raises(ValueError):
+        parse_ranks(bad)
+
+
+@pytest.mark.parametrize("bad", ["0x2", "2x0", "-1x2", (0, 4), (2, -3)])
+def test_parse_ranks_rejects_non_positive_counts(bad):
+    with pytest.raises(ValueError, match=">= 1"):
+        parse_ranks(bad)
+
+
+def test_normalized_propagates_rank_validation():
+    with pytest.raises(ValueError):
+        RunSpec(backend="multigpu", ranks="0x4").normalized()
