@@ -11,15 +11,24 @@ wants a JSON artifact calls::
 
 which writes ``benchmarks/reports/BENCH_serve.json`` (sorted keys,
 trailing newline, deterministic for a deterministic payload).
+
+Every artifact is stamped with a ``schema_version`` so the regression
+gate (``repro doctor --regress``) can refuse to diff artifacts whose
+layouts diverged; bump :data:`repro.obs.doctor.regress.BENCH_SCHEMA_VERSION`
+when a payload's structure changes.
 """
 from __future__ import annotations
 
 import json
 import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+from repro.obs.doctor.regress import BENCH_SCHEMA_VERSION  # noqa: E402
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
-__all__ = ["write_bench_json"]
+__all__ = ["write_bench_json", "BENCH_SCHEMA_VERSION"]
 
 
 def write_bench_json(name: str, payload: dict,
@@ -30,6 +39,8 @@ def write_bench_json(name: str, payload: dict,
     directory = pathlib.Path(report_dir) if report_dir else REPORT_DIR
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+    doc = dict(payload)
+    doc.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True,
                                default=str) + "\n")
     return path

@@ -18,6 +18,7 @@ serve job (and anything else that wants machine-readable output).
 import pytest
 
 from bench_json import write_bench_json
+from repro.obs.metrics import percentile_summary
 from repro.perf.report import format_table
 from repro.serve import ForecastService, GpuFleet, poisson_workload
 
@@ -69,3 +70,9 @@ def test_serve_fifo_vs_sjf(benchmark, emit):
     assert sum(fleet_fifo.busy_s) > 0 and sum(fleet_sjf.busy_s) > 0
     # the fleet is genuinely saturated (else the comparison is vacuous)
     assert fifo.peak_gpus == N_GPUS
+    # report percentiles come from the shared obs.metrics helper; a
+    # recompute over the per-job waits must agree exactly
+    for r in (fifo, sjf):
+        waits = [j["wait"] for j in r.jobs
+                 if j["state"] in ("done", "cached") and j["wait"] is not None]
+        assert percentile_summary(waits) == pytest.approx(r.wait_s)

@@ -17,9 +17,15 @@ Commands
              exits nonzero on any finding (the CI gate)
 ``serve``    operate a forecast service on a virtual GPU fleet: replay a
              JSONL workload (or a seeded Poisson stream) through the gang
-             scheduler + result cache and print the service report
-             (docs/SERVING.md)
+             scheduler + result cache and print the service report;
+             ``--slo`` adds declarative health objectives (docs/SERVING.md)
+``doctor``   the perf doctor (docs/DOCTOR.md): critical-path and overlap
+             attribution over a trace or the modeled overlap methods, plus
+             the ``--regress`` bench regression gate over BENCH_*.json
 ``info``     device specs and calibration anchors
+
+Diagnostic commands (``trace``, ``analyze``, ``doctor``, ``serve``) share
+one exit-code convention: 0 = clean, 1 = findings/alerts, 2 = usage error.
 
 The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
 does is shown in examples/ as library code.
@@ -32,6 +38,14 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: shared exit-code contract, shown in each diagnostic command's --help
+_EXIT_CODES = ("exit codes: 0 = clean, 1 = findings/alerts were reported, "
+               "2 = usage error (bad arguments or unreadable input)")
+
+#: overlap method configurations the doctor knows; mirrors
+#: repro.dist.overlap.METHOD_CONFIGS (asserted by tests/obs/test_doctor.py)
+_METHODS = ["serial", "method1", "method1+2", "method1+2+3"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,7 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "target step)")
 
     tr = sub.add_parser(
-        "trace", help="replay a workload under tracing (run + artifacts)")
+        "trace", help="replay a workload under tracing (run + artifacts)",
+        epilog=_EXIT_CODES)
     tr.add_argument("workload", nargs="?", default="warm-bubble",
                     choices=["mountain-wave", "warm-bubble", "real-case",
                              "shear-layer"])
@@ -114,7 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     an = sub.add_parser(
         "analyze",
-        help="run the compute-sanitizer (racecheck/memcheck/asuca-lint)")
+        help="run the compute-sanitizer (racecheck/memcheck/asuca-lint)",
+        epilog=_EXIT_CODES)
     an.add_argument("--lint", nargs="?", const="src/repro", default=None,
                     metavar="PATH",
                     help="run the asuca-lint pass over PATH (default "
@@ -145,7 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="operate a forecast service on a virtual GPU fleet "
-             "(docs/SERVING.md)")
+             "(docs/SERVING.md)",
+        epilog=_EXIT_CODES)
     srv.add_argument("--workload-file", type=str, default=None,
                      metavar="FILE.jsonl",
                      help="replay this JSONL workload (default: a "
@@ -186,10 +203,56 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--trace", type=str, default=None, metavar="OUT.json",
                      help="export the whole service run as one Chrome "
                           "trace (per-job spans + queue-depth counters)")
+    srv.add_argument("--slo", type=str, default=None, metavar="RULES",
+                     help="comma-separated health objectives, e.g. "
+                          "'p95_wait_s<0.5,queue_depth<32' or burn-rate "
+                          "'wait_s<0.5@0.2'; fired alerts land in the "
+                          "report (and trace) and set exit status 1 "
+                          "(docs/DOCTOR.md)")
     srv.add_argument("--json", action="store_true",
                      help="emit the report as JSON instead of text")
     srv.add_argument("--jobs-table", action="store_true",
                      help="append the per-job table to the text report")
+
+    doc = sub.add_parser(
+        "doctor",
+        help="perf doctor: critical-path/overlap attribution and the "
+             "bench regression gate (docs/DOCTOR.md)",
+        epilog=_EXIT_CODES)
+    doc.add_argument("--trace", type=str, default=None, metavar="TRACE",
+                     help="diagnose an exported trace artifact (Chrome "
+                          "Trace JSON or JSONL) instead of the model")
+    doc.add_argument("--method", default="method1+2+3", choices=_METHODS,
+                     help="overlap method configuration to diagnose "
+                          "(model mode)")
+    doc.add_argument("--ranks", type=str, default="2x2", metavar="PXxPY",
+                     help="rank grid for the modeled step; an interior "
+                          "rank's neighbor links per axis follow from it "
+                          "(default 2x2)")
+    doc.add_argument("--nx", type=int, default=320)
+    doc.add_argument("--ny", type=int, default=256)
+    doc.add_argument("--nz", type=int, default=48)
+    doc.add_argument("--min-hidden", type=float, default=None,
+                     metavar="FRAC",
+                     help="gate: fail (exit 1) when the hidden-"
+                          "communication fraction is below FRAC")
+    doc.add_argument("--regress", type=str, default=None,
+                     metavar="CURRENT.json",
+                     help="bench regression gate: diff this BENCH_*.json "
+                          "against --baseline and exit 1 on drift")
+    doc.add_argument("--baseline", type=str, default=None,
+                     metavar="BASELINE.json",
+                     help="baseline artifact for --regress")
+    doc.add_argument("--rel-tol", type=float, default=0.05,
+                     help="relative drift tolerance for --regress "
+                          "(default 0.05)")
+    doc.add_argument("--tolerance", action="append", default=None,
+                     metavar="GLOB=TOL",
+                     help="per-metric tolerance override, e.g. "
+                          "'*.gflops=0.1'; TOL 'ignore' skips the metric "
+                          "(repeatable)")
+    doc.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
 
     sub.add_parser("info", help="device specs and calibration anchors")
 
@@ -454,17 +517,22 @@ def _cmd_serve(args) -> int:
         from .obs import TraceSession
 
         session = TraceSession(name="serve")
-    service = ForecastService(
-        GpuFleet(args.gpus, device_spec(args.device)),
-        policy=args.policy,
-        queue_limit=args.queue_limit,
-        backfill=not args.no_backfill,
-        cache_capacity=args.cache_size,
-        retry=RetryPolicy(max_retries=args.max_retries),
-        faults=args.faults,
-        session=session,
-        execute=not args.no_execute,
-    )
+    try:
+        service = ForecastService(
+            GpuFleet(args.gpus, device_spec(args.device)),
+            policy=args.policy,
+            queue_limit=args.queue_limit,
+            backfill=not args.no_backfill,
+            cache_capacity=args.cache_size,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            faults=args.faults,
+            session=session,
+            slo=args.slo,
+            execute=not args.no_execute,
+        )
+    except ValueError as exc:        # e.g. a malformed --slo expression
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     report = service.run(submissions)
     if session is not None:
         from .obs import write_chrome_trace
@@ -476,9 +544,79 @@ def _cmd_serve(args) -> int:
         print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print(report.render(jobs_table=args.jobs_table))
-    # failures are part of a service report, not a CLI error; only a
-    # fleet that completed nothing signals trouble
+    # failures are part of a service report, not a CLI error; trouble
+    # means fired SLO alerts or a fleet that completed nothing
+    if report.alerts:
+        return 1
     return 0 if (report.n_done + report.n_cached) or not report.n_submitted else 1
+
+
+# ------------------------------------------------------------------- doctor
+def _parse_tolerances(items: "list[str] | None") -> "dict[str, float | None] | None":
+    """['*.gflops=0.1', 'foo.*=ignore'] -> {'*.gflops': 0.1, 'foo.*': None}"""
+    if not items:
+        return None
+    out: dict[str, float | None] = {}
+    for item in items:
+        pattern, sep, value = item.partition("=")
+        if not sep or not pattern:
+            raise ValueError(f"--tolerance {item!r}: expected GLOB=TOL")
+        if value.strip().lower() == "ignore":
+            out[pattern] = None
+        else:
+            try:
+                out[pattern] = float(value)
+            except ValueError:
+                raise ValueError(f"--tolerance {item!r}: TOL must be a "
+                                 f"number or 'ignore'") from None
+    return out
+
+
+def _cmd_doctor(args) -> int:
+    """Run the perf doctor (docs/DOCTOR.md): the bench regression gate
+    when ``--regress`` is given, otherwise a trace or model diagnosis."""
+    import json as _json
+
+    from .obs.doctor import SchemaMismatch, regression_gate
+
+    if args.regress or args.baseline:
+        if not (args.regress and args.baseline):
+            print("doctor: --regress and --baseline go together",
+                  file=sys.stderr)
+            return 2
+        try:
+            tolerances = _parse_tolerances(args.tolerance)
+            gate = regression_gate(args.baseline, args.regress,
+                                   rel_tol=args.rel_tol,
+                                   tolerances=tolerances)
+        except (OSError, SchemaMismatch, ValueError) as exc:
+            print(f"doctor: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(gate.as_dict(), indent=2, sort_keys=True)
+              if args.json else gate.text())
+        return gate.exit_status()
+
+    from .api import parse_ranks
+    from .obs.doctor import diagnose_model, diagnose_trace
+
+    try:
+        if args.trace:
+            report = diagnose_trace(args.trace)
+        else:
+            px, py = parse_ranks(args.ranks)
+            # an interior rank of a PX x PY grid has this many neighbor
+            # links per axis (2 in the middle of an axis, 1 on a pair)
+            report = diagnose_model(
+                method=args.method,
+                links_x=min(2, px - 1), links_y=min(2, py - 1),
+                nx=args.nx, ny=args.ny, nz=args.nz)
+    except (OSError, ValueError) as exc:
+        print(f"doctor: {exc}", file=sys.stderr)
+        return 2
+    if args.min_hidden is not None:
+        report.require_min_hidden(args.min_hidden)
+    print(report.as_json() if args.json else report.text())
+    return report.exit_status()
 
 
 # --------------------------------------------------------------------- info
@@ -514,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "doctor":
+        return _cmd_doctor(args)
     if args.command == "reproduce":
         from .reproduce import write_experiments
 

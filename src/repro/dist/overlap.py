@@ -33,6 +33,7 @@ with the five prognostics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..gpu.device import Access, Event, GPUDevice
 from ..gpu.kernel import Kernel
@@ -41,7 +42,8 @@ from ..perf.costmodel import ASUCA_KERNELS, DEFAULT_NS, N_WATER_TRACERS, launch_
 from .decomposition import OVERLAP
 from .network import ClusterSpec, TSUBAME_1_2
 
-__all__ = ["OverlapConfig", "VariableBreakdown", "StepTimeline", "OverlapModel"]
+__all__ = ["OverlapConfig", "VariableBreakdown", "StepTimeline", "OverlapModel",
+           "METHOD_CONFIGS", "method_timelines"]
 
 
 @dataclass(frozen=True)
@@ -422,3 +424,33 @@ class OverlapModel:
     def breakdown_rows(self) -> list[VariableBreakdown]:
         """The Fig. 9 per-variable rows."""
         return [self.variable_breakdown(n, ks) for n, ks in SHORT_STEP_VARIABLES]
+
+
+#: the paper's named optimization levels, in increasing order — the
+#: doctor sweeps these to recommend an overlap method, and the
+#: critical-path tests validate its overlap accounting against each
+METHOD_CONFIGS: dict[str, OverlapConfig] = {
+    "serial": OverlapConfig(method1_pipeline=False, method2_divide=False,
+                            method3_fuse=False),
+    "method1": OverlapConfig(method1_pipeline=True, method2_divide=False,
+                             method3_fuse=False),
+    "method1+2": OverlapConfig(method1_pipeline=True, method2_divide=True,
+                               method3_fuse=False),
+    "method1+2+3": OverlapConfig(),
+}
+
+
+def method_timelines(
+    cluster: ClusterSpec = TSUBAME_1_2,
+    *,
+    methods: "Iterable[str] | None" = None,
+    **model_kwargs,
+) -> dict[str, StepTimeline]:
+    """One scheduled long step per named method configuration (same
+    mesh / cluster for all, so the totals are directly comparable)."""
+    out: dict[str, StepTimeline] = {}
+    for name in (methods if methods is not None else METHOD_CONFIGS):
+        config = METHOD_CONFIGS[name]
+        model = OverlapModel(cluster, config=config, **model_kwargs)
+        out[name] = model.step_timeline(config.any_overlap)
+    return out

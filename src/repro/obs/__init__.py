@@ -26,7 +26,14 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+    percentile_summary,
+)
 from .trace import (
     CounterRecord,
     DeviceOpRecord,
@@ -47,4 +54,16 @@ __all__ = [
     "chrome_trace", "write_chrome_trace",
     "jsonl_events", "write_jsonl", "summary_text",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "percentile", "percentile_summary",
+    "doctor",
 ]
+
+
+def __getattr__(name: str):
+    # the doctor pulls in gpu/dist/perf modules; loading it lazily keeps
+    # `repro.obs` important-for-profiling-shims light and cycle-free
+    if name == "doctor":
+        from . import doctor
+
+        return doctor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

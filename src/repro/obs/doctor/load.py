@@ -1,0 +1,155 @@
+"""Read exported trace artifacts back into analyzable records.
+
+The exporters (:mod:`repro.obs.exporters`) are one-way by design — they
+serialize a live :class:`~repro.obs.trace.TraceSession` for external
+viewers.  The doctor closes the loop: :func:`load_trace` parses either
+artifact format back into :class:`~repro.obs.trace.DeviceOpRecord`
+lists and counter series so a trace written yesterday (or on another
+machine, or by CI) can be diagnosed post hoc.
+
+* **Chrome Trace Format** (``.json``): integer pid/tid fields are mapped
+  back to their string labels via the ``process_name``/``thread_name``
+  metadata events the exporter always writes; 'X' events whose category
+  is a device-op kind become DeviceOpRecords, 'C' events become counter
+  samples.  Timestamps come back from microseconds.
+* **JSONL** (``.jsonl``): the stream is self-describing; ``device_op``
+  and ``counter`` lines round-trip exactly.
+
+Host spans and flow arrows are counted but not reconstructed — the
+doctor's analyses are device- and counter-centric.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..trace import DeviceOpRecord
+
+__all__ = ["LoadedTrace", "load_trace"]
+
+#: 'X'-event categories that are device ops (matches DeviceOpRecord.kind)
+_OP_KINDS = frozenset(("kernel", "h2d", "d2h", "mpi"))
+
+
+@dataclass
+class LoadedTrace:
+    """What the doctor can recover from an exported trace."""
+
+    name: str
+    #: track-group label -> ops sorted by (ts, insertion)
+    device_ops: dict[str, list[DeviceOpRecord]] = field(default_factory=dict)
+    #: (pid label, counter name) -> [(ts, value), ...] in stream order
+    counters: dict[tuple[str, str], list[tuple[float, float]]] = \
+        field(default_factory=dict)
+    n_spans: int = 0
+    n_flows: int = 0
+
+    def counter_series(self, name: str,
+                       pid: str | None = None) -> list[tuple[float, float]]:
+        """One counter's samples (any track group when pid is None)."""
+        out: list[tuple[float, float]] = []
+        for (p, n), series in self.counters.items():
+            if n == name and (pid is None or p == pid):
+                out.extend(series)
+        out.sort(key=lambda tv: tv[0])
+        return out
+
+
+def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome Trace Format file "
+                         "(no traceEvents array)")
+    session = (doc.get("otherData") or {}).get("session", name)
+    trace = LoadedTrace(name=str(session))
+
+    pid_label: dict[int, str] = {}
+    tid_label: dict[tuple[int, int], str] = {}
+    for ev in events:
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            pid_label[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("name") == "thread_name":
+            tid_label[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    def plabel(pid: int) -> str:
+        return pid_label.get(pid, f"pid{pid}")
+
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            cat = ev.get("cat", "")
+            if cat not in _OP_KINDS:
+                trace.n_spans += 1
+                continue
+            pid = plabel(ev["pid"])
+            tid = tid_label.get((ev["pid"], ev["tid"]), f"tid{ev['tid']}")
+            args = ev.get("args") or {}
+            trace.device_ops.setdefault(pid, []).append(DeviceOpRecord(
+                name=ev.get("name", "?"), kind=cat,
+                ts=ev["ts"] / 1e6, dur=ev.get("dur", 0.0) / 1e6,
+                pid=pid, tid=tid,
+                flops=float(args.get("flops", 0.0)),
+                bytes_moved=float(args.get("bytes", 0.0)),
+                tag=str(args.get("tag", "")),
+            ))
+        elif ph == "C":
+            pid = plabel(ev["pid"])
+            for _series, value in (ev.get("args") or {}).items():
+                trace.counters.setdefault(
+                    (pid, ev.get("name", "?")), []).append(
+                        (ev["ts"] / 1e6, float(value)))
+        elif ph in ("s", "f"):
+            trace.n_flows += 1
+    return trace
+
+
+def _load_jsonl(lines: list[str], name: str) -> LoadedTrace:
+    trace = LoadedTrace(name=name)
+    for lineno, raw in enumerate(lines, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            ev = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from None
+        etype = ev.get("type")
+        if etype == "session":
+            trace.name = ev.get("name", name)
+        elif etype == "device_op":
+            trace.device_ops.setdefault(ev["pid"], []).append(DeviceOpRecord(
+                name=ev["name"], kind=ev["kind"], ts=ev["ts"], dur=ev["dur"],
+                pid=ev["pid"], tid=ev.get("tid", "stream0"),
+                flops=float(ev.get("flops", 0.0)),
+                bytes_moved=float(ev.get("bytes", 0.0)),
+                tag=str(ev.get("tag", "")),
+            ))
+        elif etype == "counter":
+            trace.counters.setdefault(
+                (ev.get("pid", "host"), ev["name"]), []).append(
+                    (float(ev["ts"]), float(ev["value"])))
+        elif etype == "span":
+            trace.n_spans += 1
+        elif etype == "flow":
+            trace.n_flows += 1
+    return trace
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Parse a trace artifact (Chrome JSON or JSONL, sniffed from the
+    content) into a :class:`LoadedTrace`."""
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+        return _load_chrome(doc, name=path)
+    return _load_jsonl(text.splitlines(), name=path)

@@ -1,0 +1,246 @@
+"""Bench regression gate: diff two ``BENCH_*.json`` artifacts.
+
+The machine-readable benchmark artifacts (``benchmarks/bench_json.py``)
+are deterministic for a deterministic model, which makes them usable as
+golden baselines: a commit that changes a modeled TFlops number, a wait
+percentile, or a weak-scaling efficiency shows up as a numeric drift
+between the checked-in artifact and a freshly regenerated one.
+
+:func:`compare_bench` walks the two payloads in parallel and flags
+
+* numeric leaves whose relative change exceeds the tolerance (a global
+  ``rel_tol`` plus per-metric overrides keyed by dotted-path glob, e.g.
+  ``{"*.wait_s.*": 0.15}``);
+* non-numeric leaves that changed at all;
+* keys/elements present on only one side.
+
+Artifacts carry a ``schema_version`` (stamped by ``write_bench_json``);
+comparing mismatched or unversioned artifacts raises
+:class:`SchemaMismatch` — the gate refuses rather than producing a
+nonsense diff.  CLI surface: ``repro doctor --regress NEW --baseline
+OLD`` (exit 0 clean, 1 on drift, 2 on schema/usage errors).
+"""
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BENCH_SCHEMA_VERSION", "SchemaMismatch", "Drift",
+           "RegressionReport", "compare_bench", "regression_gate"]
+
+#: version stamped into every BENCH_*.json payload; bump on layout changes
+BENCH_SCHEMA_VERSION = 1
+
+
+class SchemaMismatch(ValueError):
+    """The two artifacts do not speak the same schema version."""
+
+
+@dataclass
+class Drift:
+    """One difference between baseline and current artifacts."""
+
+    path: str             #: dotted path of the leaf, e.g. 'fifo.wait_s.p95'
+    kind: str             #: 'drift' | 'changed' | 'missing' | 'added' | 'shape'
+    baseline: Any = None
+    current: Any = None
+    rel_change: float | None = None
+    tolerance: float | None = None
+
+    def text(self) -> str:
+        if self.kind == "drift":
+            return (f"DRIFT {self.path}: {self.baseline:g} -> "
+                    f"{self.current:g} ({100 * self.rel_change:+.1f}%, "
+                    f"tolerance {100 * self.tolerance:.1f}%)")
+        if self.kind == "changed":
+            return (f"CHANGED {self.path}: {self.baseline!r} -> "
+                    f"{self.current!r}")
+        if self.kind == "missing":
+            return f"MISSING {self.path}: present in baseline only"
+        if self.kind == "added":
+            return f"ADDED {self.path}: present in current only"
+        return (f"SHAPE {self.path}: baseline {self.baseline!r} vs "
+                f"current {self.current!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        d = {"path": self.path, "kind": self.kind,
+             "baseline": self.baseline, "current": self.current}
+        if self.rel_change is not None:
+            d["rel_change"] = self.rel_change
+            d["tolerance"] = self.tolerance
+        return d
+
+
+@dataclass
+class RegressionReport:
+    """The gate's verdict over one artifact pair."""
+
+    baseline: str
+    current: str
+    schema_version: int
+    rel_tol: float
+    drifts: list[Drift] = field(default_factory=list)
+    compared: int = 0          #: numeric leaves actually compared
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def exit_status(self) -> int:
+        return 0 if self.ok else 1
+
+    def text(self) -> str:
+        lines = [f"bench regression gate — baseline {self.baseline} vs "
+                 f"current {self.current}",
+                 f"  schema v{self.schema_version}, {self.compared} numeric "
+                 f"metrics compared, default tolerance "
+                 f"{100 * self.rel_tol:.1f}%"]
+        if self.ok:
+            lines.append("  OK — no drift beyond tolerance")
+        else:
+            lines.append(f"  {len(self.drifts)} finding(s):")
+            lines.extend(f"    {d.text()}" for d in self.drifts)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"baseline": self.baseline, "current": self.current,
+                "schema_version": self.schema_version,
+                "rel_tol": self.rel_tol, "compared": self.compared,
+                "ok": self.ok,
+                "drifts": [d.as_dict() for d in self.drifts]}
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _tol_for(path: str, rel_tol: float,
+             tolerances: dict[str, float] | None) -> float | None:
+    """Most specific matching tolerance; None means 'ignore this leaf'."""
+    if tolerances:
+        best: tuple[int, float | None] | None = None
+        for pattern, tol in tolerances.items():
+            if fnmatch.fnmatch(path, pattern):
+                score = len(pattern.replace("*", ""))
+                if best is None or score > best[0]:
+                    best = (score, tol)
+        if best is not None:
+            return best[1]
+    return rel_tol
+
+
+def compare_bench(
+    baseline: Any,
+    current: Any,
+    *,
+    rel_tol: float = 0.05,
+    abs_tol: float = 1e-12,
+    tolerances: dict[str, float] | None = None,
+    _path: str = "",
+    _out: list[Drift] | None = None,
+    _counter: list[int] | None = None,
+) -> list[Drift]:
+    """Recursively diff two JSON payloads; returns the drift list."""
+    out = _out if _out is not None else []
+    counter = _counter if _counter is not None else [0]
+
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(set(baseline) | set(current)):
+            path = f"{_path}.{key}" if _path else str(key)
+            if key not in current:
+                out.append(Drift(path=path, kind="missing",
+                                 baseline=baseline[key]))
+            elif key not in baseline:
+                out.append(Drift(path=path, kind="added",
+                                 current=current[key]))
+            else:
+                compare_bench(baseline[key], current[key], rel_tol=rel_tol,
+                              abs_tol=abs_tol, tolerances=tolerances,
+                              _path=path, _out=out, _counter=counter)
+        return out
+    if isinstance(baseline, list) and isinstance(current, list):
+        if len(baseline) != len(current):
+            out.append(Drift(path=_path or "(root)", kind="shape",
+                             baseline=f"{len(baseline)} elements",
+                             current=f"{len(current)} elements"))
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            compare_bench(b, c, rel_tol=rel_tol, abs_tol=abs_tol,
+                          tolerances=tolerances, _path=f"{_path}[{i}]",
+                          _out=out, _counter=counter)
+        return out
+
+    path = _path or "(root)"
+    if _is_number(baseline) and _is_number(current):
+        tol = _tol_for(path, rel_tol, tolerances)
+        if tol is None:
+            return out           # explicitly ignored
+        counter[0] += 1
+        diff = abs(float(current) - float(baseline))
+        if diff <= abs_tol:
+            return out
+        denom = max(abs(float(baseline)), abs_tol)
+        rel = diff / denom
+        if not math.isfinite(rel) or rel > tol:
+            signed = (float(current) - float(baseline)) / denom
+            out.append(Drift(path=path, kind="drift", baseline=baseline,
+                             current=current, rel_change=signed,
+                             tolerance=tol))
+        return out
+    if type(baseline) is not type(current) or baseline != current:
+        out.append(Drift(path=path,
+                         kind="changed" if type(baseline) is type(current)
+                         else "shape",
+                         baseline=baseline, current=current))
+    return out
+
+
+def _load(path: "str | pathlib.Path") -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench artifact must be a JSON object")
+    return doc
+
+
+def regression_gate(
+    baseline_path: "str | pathlib.Path",
+    current_path: "str | pathlib.Path",
+    *,
+    rel_tol: float = 0.05,
+    abs_tol: float = 1e-12,
+    tolerances: dict[str, float] | None = None,
+) -> RegressionReport:
+    """Load two BENCH artifacts, enforce schema compatibility, and diff.
+
+    Raises :class:`SchemaMismatch` when either side is unversioned or
+    the versions differ; callers surface that as a usage error (exit 2),
+    distinct from drift (exit 1).
+    """
+    baseline = _load(baseline_path)
+    current = _load(current_path)
+    vb = baseline.get("schema_version")
+    vc = current.get("schema_version")
+    if vb is None or vc is None:
+        missing = baseline_path if vb is None else current_path
+        raise SchemaMismatch(
+            f"{missing}: artifact has no schema_version field — "
+            f"regenerate it with the current benchmarks "
+            f"(expected schema v{BENCH_SCHEMA_VERSION})")
+    if vb != vc:
+        raise SchemaMismatch(
+            f"schema_version mismatch: baseline {baseline_path} is "
+            f"v{vb}, current {current_path} is v{vc} — refusing to "
+            f"diff artifacts with different layouts")
+    b = {k: v for k, v in baseline.items() if k != "schema_version"}
+    c = {k: v for k, v in current.items() if k != "schema_version"}
+    counter = [0]
+    drifts = compare_bench(b, c, rel_tol=rel_tol, abs_tol=abs_tol,
+                           tolerances=tolerances, _counter=counter)
+    return RegressionReport(
+        baseline=str(baseline_path), current=str(current_path),
+        schema_version=int(vb), rel_tol=rel_tol, drifts=drifts,
+        compared=counter[0])

@@ -12,8 +12,42 @@ Stdlib-only (see :mod:`repro.obs.trace` for why).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "percentile", "percentile_summary"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``numpy.percentile``'s default
+    method), pure Python so the stdlib-only obs layer can use it.
+
+    This is the ONE percentile implementation in the repo: the serve
+    report, the doctor's health windows, and the benchmark artifacts all
+    go through here, so their numbers are comparable by construction.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    xs = sorted(float(v) for v in values)
+    rank = (q / 100.0) * (len(xs) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = rank - lo
+    return xs[lo] + (xs[hi] - xs[lo]) * frac
+
+
+def percentile_summary(values: Iterable[float]) -> dict[str, float]:
+    """The repo's standard distribution summary — the shape used by the
+    serve report's wait/turnaround blocks and the doctor's windows."""
+    xs = [float(v) for v in values]
+    if not xs:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {"mean": sum(xs) / len(xs),
+            "p50": percentile(xs, 50),
+            "p95": percentile(xs, 95),
+            "max": max(xs)}
 
 
 @dataclass

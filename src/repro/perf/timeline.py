@@ -14,7 +14,7 @@ from typing import Iterable
 from ..gpu.device import GPUDevice, Op
 
 __all__ = ["TimelineSummary", "summarize", "summarize_ops", "gantt_text",
-           "busy_by_name"]
+           "busy_by_name", "concurrency_profile"]
 
 
 @dataclass
@@ -70,6 +70,35 @@ def summarize_ops(ops: Iterable[Op], makespan: float | None = None) -> TimelineS
         op_count=len(ops),
         overlap_fraction=overlapped / makespan if makespan > 0 else 0.0,
     )
+
+
+def concurrency_profile(ops: Iterable[Op]) -> dict[int, float]:
+    """Time spent with exactly ``k`` ops in flight, ``k=0`` being idle
+    up to the makespan — the overlap-attribution view the doctor prints
+    ("how much of the step had 2+ engines busy").  Accepts any op-shaped
+    sequence like :func:`summarize_ops`."""
+    events: list[tuple[float, int]] = []
+    makespan = 0.0
+    for op in ops:
+        if op.duration > 0:
+            events.append((op.start, +1))
+            events.append((op.end, -1))
+        if op.end > makespan:
+            makespan = op.end
+    profile: dict[int, float] = defaultdict(float)
+    if not events:
+        return {}
+    events.sort()
+    active = 0
+    prev_t = 0.0
+    for t, d in events:
+        if t > prev_t:
+            profile[active] += t - prev_t
+        active += d
+        prev_t = t
+    if makespan > prev_t:
+        profile[0] += makespan - prev_t
+    return dict(sorted(profile.items()))
 
 
 def busy_by_name(device: GPUDevice, prefix: str | None = None) -> dict[str, float]:

@@ -33,9 +33,9 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from ..api import Experiment, RunResult
+from ..obs.doctor.health import HealthMonitor
+from ..obs.metrics import percentile_summary
 from ..obs.trace import TraceSession
 from ..resilience.faults import FaultInjector, FaultPlan
 from ..resilience.retry import RetryPolicy
@@ -54,16 +54,6 @@ CRASH_FRACTION = 0.5
 #: cache value for runs completed with ``execute=False`` — the schedule
 #: is real but no arrays were computed
 _MODELED = object()
-
-
-def _percentiles(values: list[float]) -> dict[str, float]:
-    if not values:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
-    arr = np.asarray(values, dtype=float)
-    return {"mean": float(arr.mean()),
-            "p50": float(np.percentile(arr, 50)),
-            "p95": float(np.percentile(arr, 95)),
-            "max": float(arr.max())}
 
 
 @dataclass
@@ -96,12 +86,19 @@ class ServiceReport:
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
     shed_rate: float = 0.0
+    #: fired health alerts (SLO violations / anomalies), in firing order
+    alerts: list[dict[str, Any]] = field(default_factory=list)
+    #: SLO expressions the run was monitored against
+    slo_rules: list[str] = field(default_factory=list)
+    #: per-metric rolling-window summaries from the health monitor
+    health: dict[str, dict[str, float]] = field(default_factory=dict)
     jobs: list[dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready (and replay-comparable) form of the report."""
         out = dict(self.__dict__)
         out["jobs"] = [dict(j) for j in self.jobs]
+        out["alerts"] = [dict(a) for a in self.alerts]
         return out
 
     def render(self, *, jobs_table: bool = False) -> str:
@@ -135,6 +132,13 @@ class ServiceReport:
             lines.append(f"  deadlines missed: {self.deadline_misses}")
         if self.backfills:
             lines.append(f"  backfilled starts: {self.backfills}")
+        if self.slo_rules:
+            state = (f"{len(self.alerts)} alert(s)" if self.alerts
+                     else "all objectives met")
+            lines.append(f"  SLO [{', '.join(self.slo_rules)}]: {state}")
+        for a in self.alerts:
+            lines.append(f"    ALERT [{a['kind']}] t={a['t']:.3f}s "
+                         f"{a['metric']}: {a['message']}")
         if jobs_table and self.jobs:
             lines.append("")
             lines.append(f"  {'job':>4} {'workload':<14} {'g':>2} "
@@ -170,6 +174,8 @@ class ForecastService:
         retry: "RetryPolicy | None" = None,
         faults: "FaultPlan | str | None" = None,
         session: "TraceSession | None" = None,
+        slo: "str | list | None" = None,
+        monitor: "HealthMonitor | None" = None,
         execute: bool = True,
     ):
         self.fleet = fleet
@@ -180,6 +186,15 @@ class ForecastService:
         plan = FaultPlan.parse(faults)
         self.injector = FaultInjector(plan) if len(plan) else None
         self.session = session
+        #: fleet health: SLO rules and anomaly screening on the modeled
+        #: clock; pass ``slo="p95_wait_s<0.5,queue_depth<32"`` or a
+        #: preconfigured monitor (docs/DOCTOR.md)
+        if monitor is not None:
+            self.monitor = monitor
+        elif slo is not None:
+            self.monitor = HealthMonitor(slo)
+        else:
+            self.monitor = None
         #: False skips the real Experiment execution (pure scheduling
         #: studies on huge fleets); results/cache hits are then modeled
         self.execute = execute
@@ -188,6 +203,7 @@ class ForecastService:
         self._events: list[tuple[float, int, str, Any]] = []
         self._seq = 0
         self._clock = 0.0
+        self._alerts: list[dict[str, Any]] = []
         #: executed results by spec hash: identical specs reuse the
         #: computed arrays (runs are deterministic) even after the LRU
         #: cache evicted the entry — an execution shortcut, not a cache
@@ -200,15 +216,37 @@ class ForecastService:
         self._seq += 1
 
     def _sample_counters(self) -> None:
-        if self.session is None:
-            return
         t = self._clock
-        self.session.record_counter("queue.depth", self.scheduler.depth,
-                                    t, pid="service")
-        self.session.record_counter("fleet.gpus_in_use", self.fleet.in_use,
-                                    t, pid="service")
-        self.session.record_counter("jobs.running", len(self._running),
-                                    t, pid="service")
+        if self.session is not None:
+            self.session.record_counter("queue.depth", self.scheduler.depth,
+                                        t, pid="service")
+            self.session.record_counter("fleet.gpus_in_use",
+                                        self.fleet.in_use, t, pid="service")
+            self.session.record_counter("jobs.running", len(self._running),
+                                        t, pid="service")
+        self._observe("queue_depth", float(self.scheduler.depth))
+        self._observe("gpus_in_use", float(self.fleet.in_use))
+        self._observe("utilization",
+                      self.fleet.in_use / self.fleet.n_gpus
+                      if self.fleet.n_gpus else 0.0)
+        self._observe("jobs_running", float(len(self._running)))
+
+    def _observe(self, metric: str, value: float) -> None:
+        """Feed one health sample; fired alerts land on the trace (as
+        instant events on an ``alerts`` track) and in the run report."""
+        if self.monitor is None:
+            return
+        for alert in self.monitor.observe(metric, value, self._clock):
+            self._alerts.append(alert.as_dict())
+            if self.session is not None:
+                self.session.record_instant(
+                    f"alert {alert.metric}", self._clock, pid="service",
+                    tid="alerts", cat="alert",
+                    args={"kind": alert.kind, "metric": alert.metric,
+                          "observed": alert.observed,
+                          "threshold": alert.threshold,
+                          "rule": alert.rule,
+                          "message": alert.message})
 
     def _instant(self, name: str, **args) -> None:
         if self.session is not None:
@@ -259,11 +297,13 @@ class ForecastService:
             job.note(self._clock, "cache-hit")
             self._instant(f"cache-hit job{job.index}",
                           spec_hash=job.spec_hash[:12])
+            self._observe("cache_hit_rate", self.cache.hit_rate)
             return
         shed = self.scheduler.submit(job, self._clock)
         if shed is not None:
             self._instant(f"shed job{job.index}", depth=shed.depth,
                           limit=shed.limit)
+        self._observe("cache_hit_rate", self.cache.hit_rate)
 
     def _on_requeue(self, job: Job) -> None:
         self.scheduler.requeue(job, self._clock)
@@ -276,6 +316,8 @@ class ForecastService:
         self._job_span(job, dur, ok=True)
         self.cache.put(job.spec_hash,
                        job.result if job.result is not None else _MODELED)
+        if job.turnaround is not None:
+            self._observe("turnaround_s", job.turnaround)
 
     def _on_crash(self, job: Job) -> None:
         dur = self._release(job)
@@ -318,6 +360,8 @@ class ForecastService:
         job.started_at = self._clock
         job.state = JobState.RUNNING
         job.note(self._clock, "start")
+        if job.wait is not None:
+            self._observe("wait_s", job.wait)
         attempt_s = job.est_seconds * (1.0 - job.progress)
         crashed = None
         if self.injector is not None:
@@ -408,13 +452,18 @@ class ForecastService:
                                    if makespan > 0 else 0.0),
             utilization=self.fleet.utilization(makespan),
             peak_gpus=self.fleet.peak_in_use,
-            wait_s=_percentiles(waits),
-            turnaround_s=_percentiles(turnarounds),
+            wait_s=percentile_summary(waits),
+            turnaround_s=percentile_summary(turnarounds),
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
             cache_hit_rate=self.cache.hit_rate,
             shed_rate=(by_state[JobState.SHED] / len(jobs)
                        if jobs else 0.0),
+            alerts=list(self._alerts),
+            slo_rules=([r.expr for r in self.monitor.rules]
+                       if self.monitor is not None else []),
+            health=(self.monitor.summary()
+                    if self.monitor is not None else {}),
             jobs=[{
                 "index": j.index,
                 "workload": j.spec.workload,

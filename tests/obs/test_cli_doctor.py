@@ -1,0 +1,99 @@
+"""The ``repro doctor`` subcommand and the serve ``--slo`` flag: the
+shared exit-code convention (0 clean, 1 findings/alerts, 2 usage
+errors) across all three doctor modes."""
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST_SERVE = ["serve", "--jobs", "10", "--gpus", "4", "--no-execute"]
+
+JSONL_TRACE = "\n".join([
+    '{"type": "session", "name": "toy"}',
+    '{"type": "device_op", "pid": "rank0", "tid": "stream0",'
+    ' "name": "A", "kind": "kernel", "ts": 0.0, "dur": 0.001}',
+    '{"type": "device_op", "pid": "rank0", "tid": "stream1",'
+    ' "name": "H", "kind": "h2d", "ts": 0.0, "dur": 0.0004}',
+    '{"type": "counter", "pid": "service", "name": "queue.depth",'
+    ' "ts": 0.0, "value": 3.0}',
+]) + "\n"
+
+
+def test_doctor_model_mode_clean(capsys):
+    assert main(["doctor"]) == 0
+    out = capsys.readouterr().out
+    assert "perf doctor — model analysis" in out
+    assert "verdict" in out and "hidden" in out
+
+
+def test_doctor_json_reports_paper_overlap(capsys):
+    assert main(["doctor", "--ranks", "24x22", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert doc["hidden_fraction"] == pytest.approx(0.548, abs=0.01)
+    assert doc["verdict"]["method_totals_s"]
+
+
+def test_doctor_min_hidden_gate(capsys):
+    assert main(["doctor", "--ranks", "2x2", "--min-hidden", "0.05"]) == 0
+    capsys.readouterr()
+    assert main(["doctor", "--ranks", "2x2", "--min-hidden", "0.99"]) == 1
+    assert "FINDING" in capsys.readouterr().out
+
+
+def test_doctor_usage_errors(tmp_path, capsys):
+    assert main(["doctor", "--ranks", "notagrid"]) == 2
+    assert main(["doctor", "--trace", str(tmp_path / "missing.json")]) == 2
+    assert main(["doctor", "--regress", str(tmp_path / "x.json")]) == 2
+    err = capsys.readouterr().err
+    assert "doctor:" in err and "--baseline" in err
+
+
+def test_doctor_trace_mode(tmp_path, capsys):
+    trace = tmp_path / "toy.jsonl"
+    trace.write_text(JSONL_TRACE)
+    assert main(["doctor", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "trace analysis" in out and "rank0" in out
+    assert "queue.depth" in out
+
+
+def test_doctor_regress_gate(tmp_path, capsys):
+    base = {"makespan_s": 1.0, "schema_version": 1}
+    (tmp_path / "base.json").write_text(json.dumps(base))
+    (tmp_path / "same.json").write_text(json.dumps(base))
+    slow = dict(base, makespan_s=1.1)
+    (tmp_path / "slow.json").write_text(json.dumps(slow))
+    unversioned = {"makespan_s": 1.0}
+    (tmp_path / "unversioned.json").write_text(json.dumps(unversioned))
+
+    common = ["doctor", "--baseline", str(tmp_path / "base.json")]
+    assert main([*common, "--regress", str(tmp_path / "same.json")]) == 0
+    assert main([*common, "--regress", str(tmp_path / "slow.json")]) == 1
+    assert "DRIFT makespan_s" in capsys.readouterr().out
+    assert main([*common, "--regress",
+                 str(tmp_path / "unversioned.json")]) == 2
+    assert "schema_version" in capsys.readouterr().err
+    # a widened per-metric tolerance lets the same drift pass
+    assert main([*common, "--regress", str(tmp_path / "slow.json"),
+                 "--tolerance", "makespan_s=0.5"]) == 0
+    # malformed tolerance is a usage error
+    assert main([*common, "--regress", str(tmp_path / "slow.json"),
+                 "--tolerance", "nonsense"]) == 2
+
+
+def test_serve_slo_exit_codes(capsys):
+    assert main([*FAST_SERVE, "--slo", "p95_wait_s<1e9"]) == 0
+    assert "all objectives met" in capsys.readouterr().out
+    assert main([*FAST_SERVE, "--slo", "queue_depth<1"]) == 1
+    assert "ALERT [slo]" in capsys.readouterr().out
+    assert main([*FAST_SERVE, "--slo", "queue_depth!!1"]) == 2
+    assert "serve:" in capsys.readouterr().err
+
+
+def test_exit_codes_documented_in_help(capsys):
+    for cmd in ("trace", "analyze", "doctor", "serve"):
+        with pytest.raises(SystemExit):
+            main([cmd, "--help"])
+        assert "exit codes: 0 = clean" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Round-trip tests: what the exporters write, the doctor reads back.
+
+Counters recorded on a session must survive the Chrome-trace 'C'-event
+encoding and the JSONL stream; device ops must come back close enough
+(the CTF microsecond rounding is 1e-9 s) that a post-hoc diagnosis of
+the artifact agrees with the live-timeline diagnosis within 1%."""
+import pytest
+
+from repro.dist.overlap import method_timelines
+from repro.gpu.device import GPUDevice
+from repro.obs import TraceSession, write_chrome_trace, write_jsonl
+from repro.obs.doctor import diagnose_ops, diagnose_trace, load_trace
+
+SAMPLES = [(0.0, 0.0), (0.125, 3.0), (0.25, 7.0), (0.375, 2.5), (0.5, 0.0)]
+
+
+@pytest.fixture()
+def session():
+    s = TraceSession(name="roundtrip")
+    for t, v in SAMPLES:
+        s.record_counter("queue.depth", v, t, pid="service")
+    return s
+
+
+def _assert_counters_match(loaded):
+    series = loaded.counter_series("queue.depth", pid="service")
+    assert len(series) == len(SAMPLES)
+    for (t0, v0), (t1, v1) in zip(SAMPLES, series):
+        assert t1 == pytest.approx(t0, abs=1e-9)
+        assert v1 == pytest.approx(v0)
+
+
+def test_counter_round_trip_chrome(session, tmp_path):
+    path = write_chrome_trace(session, tmp_path / "t.json")
+    _assert_counters_match(load_trace(str(path)))
+
+
+def test_counter_round_trip_jsonl(session, tmp_path):
+    path = write_jsonl(session, tmp_path / "t.jsonl")
+    _assert_counters_match(load_trace(str(path)))
+
+
+def test_device_ops_round_trip(tmp_path):
+    """Ops collected from a device come back with their kinds, tags and
+    (to CTF rounding) their timestamps."""
+    dev = GPUDevice()
+    s0, s1 = dev.default_stream, dev.create_stream()
+    dev.schedule("A", "kernel", s0, 1e-3)
+    dev.schedule("H", "h2d", s1, 4e-4)
+    dev.schedule("M", "mpi", s1, 8e-4, tag="halo")
+
+    session = TraceSession(name="ops")
+    session.collect_device(dev, rank=0)
+    path = write_chrome_trace(session, tmp_path / "ops.json")
+
+    loaded = load_trace(str(path))
+    assert list(loaded.device_ops) == ["rank0"]
+    ops = loaded.device_ops["rank0"]
+    assert {(o.name, o.kind) for o in ops} == {
+        ("A", "kernel"), ("H", "h2d"), ("M", "mpi")}
+    by_name = {o.name: o for o in ops}
+    assert by_name["M"].tag == "halo"
+    assert by_name["M"].ts == pytest.approx(4e-4, abs=1e-9)
+    assert by_name["M"].dur == pytest.approx(8e-4, abs=1e-9)
+
+
+def test_trace_diagnosis_matches_live_within_1pct(tmp_path):
+    """Acceptance criterion: diagnosing the exported artifact of the
+    full-overlap model step reproduces the live per-kernel attribution
+    and overlap efficiency within 1%."""
+    tl = method_timelines(methods=["method1+2+3"])["method1+2+3"]
+    live = diagnose_ops(tl.device.timeline)
+
+    session = TraceSession(name="overlap")
+    session.collect_device(tl.device, rank=0)
+    path = write_chrome_trace(session, tmp_path / "overlap.json")
+    report = diagnose_trace(str(path))
+
+    assert len(report.devices) == 1
+    post = report.devices[0]
+    assert post.stats.hidden_fraction == pytest.approx(
+        live.stats.hidden_fraction, rel=0.01)
+    assert post.stats.makespan == pytest.approx(live.stats.makespan,
+                                                rel=0.01)
+    assert post.path.coverage == pytest.approx(live.path.coverage, abs=0.01)
+    live_rows = {r.name: r.total for r in live.rows}
+    post_rows = {r.name: r.total for r in post.rows}
+    assert set(post_rows) == set(live_rows)
+    for name, total in live_rows.items():
+        assert post_rows[name] == pytest.approx(total, rel=0.01)
+    assert report.verdict is not None
+
+
+def test_diagnose_trace_screens_counter_anomalies(tmp_path):
+    """A flat counter series with one spike past warmup trips the EWMA
+    screen; the anomaly carries the metric's track-qualified name."""
+    session = TraceSession(name="anomaly")
+    for i in range(40):
+        session.record_counter("queue.depth", 2.0 + (i % 2) * 0.1,
+                               i * 0.1, pid="service")
+    session.record_counter("queue.depth", 50.0, 4.0, pid="service")
+    path = write_jsonl(session, tmp_path / "a.jsonl")
+
+    report = diagnose_trace(str(path), anomaly_sigma=6.0)
+    assert any(a["metric"] == "service/queue.depth"
+               for a in report.anomalies)
+    assert "service/queue.depth" in report.counters
+
+
+def test_load_trace_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        load_trace(str(bad))
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        load_trace(str(empty))
