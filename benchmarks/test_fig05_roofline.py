@@ -11,8 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core.advection import limited_face_flux
-from repro.gpu.roofline import attainable_flops, ridge_intensity
-from repro.gpu.spec import Precision, TESLA_S1070
+from repro.gpu.roofline import place_cost_table, ridge_intensity
+from repro.gpu.spec import TESLA_S1070
 from repro.perf.costmodel import ASUCA_KERNELS, ROOFLINE_KERNELS
 from repro.perf.counting import FlopCounter
 from repro.perf.report import ComparisonReport, format_table
@@ -21,15 +21,8 @@ N_POINTS = 320 * 256 * 48
 
 
 def _roofline_rows():
-    rows = []
-    for label, name in ROOFLINE_KERNELS:
-        k = ASUCA_KERNELS[name]
-        ai = k.cost.intensity(Precision.SINGLE)
-        t = k.duration(N_POINTS, TESLA_S1070, Precision.SINGLE)
-        perf = k.cost.flops(N_POINTS) / t / 1e9
-        ceiling = attainable_flops(ai, TESLA_S1070) / 1e9
-        rows.append((label, ai, perf, ceiling))
-    return rows
+    return [(p.name, p.intensity, p.gflops, p.ceiling_gflops)
+            for p in place_cost_table(N_POINTS, spec=TESLA_S1070)]
 
 
 def test_fig05_roofline(benchmark, emit):

@@ -1,0 +1,107 @@
+"""Live roofline — the Fig. 5 picture regenerated from *measured* counts.
+
+Where ``test_fig05_roofline.py`` places the hand-entered cost-table
+kernels on the Eq.-6 curve, this benchmark runs the real dycore with the
+counting hook enabled (``RunSpec(counters=True)``), lets the instrumented
+arrays count every FLOP and element the accounting kernels execute, and
+asserts that the *measured* picture reproduces the paper's shape:
+
+* among the five Fig. 5 kernels, the coordinate transformation achieves
+  the lowest GFlops and the warm-rain kernel the highest;
+* warm rain sits above the ridge (compute bound), the other four below
+  (memory bound);
+* no kernel exceeds its Eq.-6 ceiling;
+* measurement agrees with the cost table within the drift bands —
+  ``RooflineReport.exit_status() == 0`` (no ROOF01/ROOF02 findings).
+
+The per-kernel measured numbers are written to
+``BENCH_roofline.json`` and gated in CI by ``repro doctor --regress``
+against the checked-in baseline: the virtual runtime and the accounting
+kernels are deterministic, so any drift is a real change to either the
+kernels or the counter.
+"""
+from bench_json import write_bench_json
+
+from repro.api import Experiment, RunSpec
+from repro.obs.doctor.roofline import roofline_from_records
+from repro.perf.costmodel import ROOFLINE_KERNELS
+from repro.perf.report import format_table
+
+GRID = (16, 16, 12)
+STEPS = 2
+
+
+def _counted_report():
+    exp = Experiment(RunSpec(
+        workload="shear-layer", steps=STEPS,
+        nx=GRID[0], ny=GRID[1], nz=GRID[2],
+        backend="gpu", counters=True,
+    )).prepare()
+    exp.run()
+    return roofline_from_records(exp.runner.device.timeline)
+
+
+def test_roofline_measured_fig05_ranking(benchmark, emit):
+    report = benchmark.pedantic(_counted_report, rounds=1, iterations=1)
+
+    table = format_table(
+        ["kernel", "AI [flop/B]", "AI streamed", "measured GFlops",
+         "Eq.6 ceiling", "% of ceiling"],
+        [[k.name, k.placement.intensity, k.streamed_intensity,
+          k.placement.gflops, k.placement.ceiling_gflops,
+          100.0 * k.placement.ceiling_fraction]
+         for k in report.by_achieved()],
+        title="Live roofline — measured FLOP/byte counts "
+              f"(shear-layer {GRID[0]}x{GRID[1]}x{GRID[2]}, "
+              f"{STEPS} steps, SP Tesla S1070)",
+    )
+    emit(table)
+
+    # every launch of the counted run carries measurement, and no kernel
+    # drifted outside the bands vs the cost table
+    assert report.measured_ops == report.total_ops > 0
+    assert report.exit_status() == 0, [f.text() for f in report.findings]
+
+    # the paper's Fig. 5 ranking, from measurement: restrict to the five
+    # paper kernels (the full dycore also launches cheaper bookkeeping
+    # kernels such as array_copy that sit below all five)
+    five = {name: report.kernel(name) for _, name in ROOFLINE_KERNELS}
+    assert all(k is not None for k in five.values())
+    achieved = {n: k.placement.gflops for n, k in five.items()}
+    assert achieved["coord_transform"] == min(achieved.values())
+    assert achieved["warm_rain"] == max(achieved.values())
+
+    # boundedness: warm rain above the ridge, the rest below
+    assert five["warm_rain"].placement.intensity > report.ridge
+    for name in ("coord_transform", "pgf_x", "advection", "helmholtz"):
+        assert five[name].placement.intensity < report.ridge, (
+            f"{name} must be memory bound")
+
+    # nothing beats its own Eq.-6 ceiling
+    for k in report.kernels:
+        assert k.placement.gflops <= k.placement.ceiling_gflops * 1.0001
+
+    # ---- deterministic artifact for the CI regression gate
+    payload = {
+        "grid": list(GRID),
+        "steps": STEPS,
+        "workload": "shear-layer",
+        "spec": report.spec_name,
+        "precision": report.precision,
+        "ridge": report.ridge,
+        "measured_ops": report.measured_ops,
+        "kernels": {
+            k.name: {
+                "measured_flops_per_point": k.measured_flops_per_point,
+                "measured_bytes_per_point": k.measured_bytes_per_point,
+                "intensity": k.placement.intensity,
+                "streamed_intensity": k.streamed_intensity,
+                "achieved_gflops": k.placement.gflops,
+                "ceiling_fraction": k.placement.ceiling_fraction,
+                "peak_fraction": k.placement.peak_fraction,
+                "time_share": k.time_share,
+            }
+            for k in report.kernels
+        },
+    }
+    write_bench_json("roofline", payload)

@@ -28,6 +28,9 @@ CODES: dict[str, str] = {
     "LINT01": "host<->device transfer reachable from inside a step loop",
     "LINT02": "launch configuration violates occupancy limits",
     "LINT03": "stencil slice wider than the declared halo",
+    "ROOF01": "measured kernel FLOPs diverge from the cost-table model",
+    "ROOF02": "measured kernel memory traffic diverges from the cost-table model",
+    "ROOF03": "on-path kernel has no measured counts (not instrumented)",
 }
 
 

@@ -145,6 +145,11 @@ class RunSpec:
     metrics: bool = False
     profile: bool = False
     summary: bool = False
+    #: measure FLOP/byte counts per kernel launch (the live roofline;
+    #: requires a device-backed backend — auto resolves to 'gpu')
+    counters: bool = False
+    #: measure every Nth step only (bounds counting overhead)
+    counter_every: int = 1
     history_path: str | None = None
     history_every: float = 60.0
     # ------------------------------------------------------- resilience
@@ -166,7 +171,8 @@ class RunSpec:
         backend = self.backend
         if backend == "auto":
             backend = ("multigpu" if ranks is not None
-                       else "gpu" if self.wants_session() else "cpu")
+                       else "gpu" if self.wants_session() or self.counters
+                       else "cpu")
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
         if backend == "multigpu" and ranks is None:
@@ -175,6 +181,11 @@ class RunSpec:
             ranks = None
         if self.steps < 0:
             raise ValueError("steps must be >= 0")
+        if self.counter_every < 1:
+            raise ValueError("counter_every must be >= 1")
+        if self.counters and backend == "cpu":
+            raise ValueError(
+                "counters need a device-backed backend ('gpu'/'multigpu')")
         if (self.resume or self.checkpoint_every > 0) and not self.checkpoint_dir:
             raise ValueError(
                 "checkpointing/resume needs checkpoint_dir")
@@ -189,6 +200,9 @@ class RunSpec:
     _NON_SEMANTIC_FIELDS = frozenset({
         "trace_path", "trace_jsonl", "metrics", "profile", "summary",
         "history_path", "history_every", "checkpoint_dir",
+        # counting only annotates device ops with measurements; the
+        # computed fields are bit-identical with or without it
+        "counters", "counter_every",
     })
 
     def canonical_dict(self) -> dict[str, Any]:
@@ -349,8 +363,11 @@ class Experiment:
                 self.grid, self.case.ref, px, py, self.model.config,
                 relaxation=getattr(self.model, "relaxation", None),
                 fault_injector=self.injector, retry=spec.retry)
-            if self.session is not None:
-                self.machine.attach_devices(precision=spec.precision)
+            if self.session is not None or spec.counters:
+                self.machine.attach_devices(
+                    precision=spec.precision,
+                    counters=spec.counters,
+                    counter_every=spec.counter_every)
             self.rank_states = self.machine.scatter_state(self.state)
             with self._contexts():
                 self.machine.exchange_all(self.rank_states, None)
@@ -362,6 +379,9 @@ class Experiment:
 
             device = GPUDevice(TESLA_S1070, fault_injector=self.injector)
             kw = {} if spec.precision is None else {"precision": spec.precision}
+            if spec.counters:
+                kw["counters"] = True
+                kw["counter_every"] = spec.counter_every
             self.runner = GpuAsucaRunner(self.model, device, **kw)
             self.runner.upload(self.state)
             self._initial = self.state.copy()

@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "report after integration")
     run.add_argument("--summary", action="store_true",
                      help="print the trace summary (implies a session)")
+    run.add_argument("--counters", action="store_true",
+                     help="measure FLOP/byte counts per kernel launch (the "
+                          "live roofline; see docs/OBSERVABILITY.md) — "
+                          "counts land in the trace/metrics and feed "
+                          "'repro doctor --roofline'")
+    run.add_argument("--counter-every", type=int, default=1, metavar="N",
+                     help="measure every Nth step only (default 1; bounds "
+                          "counting overhead)")
     run.add_argument("--faults", type=str, default=None, metavar="PLAN",
                      help="fault-injection plan: 'demo', 'random:SEED', or "
                           "a comma list like drop@1,crash@3:r2 "
@@ -126,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("table",
                        choices=["fig4", "roofline", "fig9", "fig10", "fig11",
                                 "table1", "projection"])
+    bench.add_argument("--device", default="s1070",
+                       choices=["s1070", "m2050"],
+                       help="device spec for the roofline table "
+                            "(default s1070)")
 
     an = sub.add_parser(
         "analyze",
@@ -229,9 +241,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rank grid for the modeled step; an interior "
                           "rank's neighbor links per axis follow from it "
                           "(default 2x2)")
-    doc.add_argument("--nx", type=int, default=320)
-    doc.add_argument("--ny", type=int, default=256)
-    doc.add_argument("--nz", type=int, default=48)
+    doc.add_argument("--nx", type=int, default=None,
+                     help="grid override (model mode default 320; "
+                          "roofline-run mode default 16)")
+    doc.add_argument("--ny", type=int, default=None,
+                     help="grid override (model mode default 256; "
+                          "roofline-run mode default 16)")
+    doc.add_argument("--nz", type=int, default=None,
+                     help="grid override (model mode default 48; "
+                          "roofline-run mode default 12)")
+    doc.add_argument("--roofline", action="store_true",
+                     help="live roofline: place every on-path kernel on "
+                          "the Eq.-6 curve from *measured* FLOP/byte "
+                          "counts (from --trace if it was recorded with "
+                          "--counters, else from a fresh counted run) and "
+                          "flag drift vs the cost table "
+                          "(docs/DOCTOR.md)")
+    doc.add_argument("--workload", default="shear-layer",
+                     choices=["mountain-wave", "warm-bubble", "real-case",
+                              "shear-layer"],
+                     help="workload for the counted --roofline run "
+                          "(default shear-layer)")
+    doc.add_argument("--steps", type=int, default=2,
+                     help="steps of the counted --roofline run (default 2)")
+    doc.add_argument("--counter-every", type=int, default=1, metavar="N",
+                     help="sampling cadence of the counted --roofline run")
+    doc.add_argument("--device", default="s1070",
+                     choices=["s1070", "m2050"],
+                     help="device spec for --roofline placement")
+    doc.add_argument("--seed-drift", default=None, metavar="KERNEL:FACTOR",
+                     help=argparse.SUPPRESS)  # test fixture: perturb table
     doc.add_argument("--min-hidden", type=float, default=None,
                      metavar="FRAC",
                      help="gate: fail (exit 1) when the hidden-"
@@ -299,6 +338,8 @@ def _spec_from_args(args) -> "RunSpec":
         metrics=getattr(args, "metrics", False),
         profile=getattr(args, "profile", False),
         summary=getattr(args, "summary", False),
+        counters=getattr(args, "counters", False),
+        counter_every=getattr(args, "counter_every", 1),
         history_path=getattr(args, "history", None),
         history_every=getattr(args, "history_every", 60.0),
         faults=getattr(args, "faults", None),
@@ -337,6 +378,17 @@ def _cmd_run(args) -> int:
             print(result.session.metrics.report())
     if exp.timer is not None:
         print(exp.timer.report())
+    if exp.spec.counters:
+        hooks = ([exp.runner.counting] if exp.runner is not None
+                 else list(getattr(exp.machine, "_dev_counting", None) or []))
+        hooks = [h for h in hooks if h is not None]
+        if hooks:
+            launches = sum(mk.launches for h in hooks
+                           for mk in h.measured.values())
+            sampled = max(h.steps_sampled for h in hooks)
+            print(f"counters: {launches} kernel launches measured over "
+                  f"{sampled} sampled step(s) "
+                  f"(see 'repro doctor --roofline')")
     if result.fault_log or result.recoveries or result.checkpoints_written:
         print(f"resilience: {result.resilience_report()}")
 
@@ -370,13 +422,8 @@ def _cmd_trace(args) -> int:
 
 # -------------------------------------------------------------------- bench
 def _cmd_bench(args) -> int:
-    from .gpu.spec import Precision, TESLA_S1070
-    from .perf.costmodel import (
-        ASUCA_KERNELS,
-        ROOFLINE_KERNELS,
-        asuca_step_cost,
-        cpu_step_time,
-    )
+    from .gpu.spec import Precision
+    from .perf.costmodel import asuca_step_cost, cpu_step_time
     from .perf.report import format_table
 
     if args.table == "fig4":
@@ -392,15 +439,15 @@ def _cmd_bench(args) -> int:
             ["grid pts", "GPU SP", "GPU DP", "CPU DP"], rows,
             title="Fig. 4 — single-GPU GFlops vs grid size"))
     elif args.table == "roofline":
-        n = 320 * 256 * 48
-        rows = []
-        for label, name in ROOFLINE_KERNELS:
-            k = ASUCA_KERNELS[name]
-            t = k.duration(n, TESLA_S1070, Precision.SINGLE)
-            rows.append([label, k.cost.intensity(Precision.SINGLE),
-                         k.cost.flops(n) / t / 1e9])
+        from .gpu.roofline import place_cost_table
+        from .gpu.spec import device_spec
+
+        spec = device_spec(getattr(args, "device", "s1070"))
+        rows = [[p.name, p.intensity, p.gflops]
+                for p in place_cost_table(320 * 256 * 48, spec=spec)]
         print(format_table(["kernel", "AI [flop/B]", "GFlops"], rows,
-                           title="Fig. 5 — kernel roofline (SP)"))
+                           title=f"Fig. 5 — kernel roofline (SP, "
+                                 f"{spec.name})"))
     elif args.table == "fig9":
         from .dist.overlap import OverlapModel
 
@@ -572,9 +619,80 @@ def _parse_tolerances(items: "list[str] | None") -> "dict[str, float | None] | N
     return out
 
 
+def _drifted_table(seed_drift: str) -> dict:
+    """Test fixture behind the hidden ``--seed-drift KERNEL:FACTOR``: a
+    copy of the cost table with one kernel's flops/point multiplied, so
+    CI can prove the ROOF01 gate fires."""
+    import dataclasses as _dc
+
+    from .perf.costmodel import ASUCA_KERNELS
+
+    name, sep, factor = seed_drift.partition(":")
+    if not sep or name not in ASUCA_KERNELS:
+        raise ValueError(f"--seed-drift {seed_drift!r}: expected "
+                         f"KERNEL:FACTOR with a cost-table kernel name")
+    try:
+        factor = float(factor)
+    except ValueError:
+        raise ValueError(f"--seed-drift {seed_drift!r}: FACTOR must be "
+                         f"a number") from None
+    table = dict(ASUCA_KERNELS)
+    k = table[name]
+    table[name] = _dc.replace(k, cost=_dc.replace(
+        k.cost, flops_per_point=k.cost.flops_per_point * factor))
+    return table
+
+
+def _doctor_roofline(args) -> int:
+    """``repro doctor --roofline``: measured kernel placements + drift
+    findings, from a counted trace or a fresh counted run."""
+    import json as _json
+
+    from .gpu.spec import Precision, device_spec
+    from .obs.doctor import roofline_from_records
+
+    try:
+        table = (_drifted_table(args.seed_drift)
+                 if args.seed_drift else None)
+        if args.trace:
+            from .obs.doctor import load_trace
+
+            trace = load_trace(args.trace)
+            ops = [op for per_pid in trace.device_ops.values()
+                   for op in per_pid]
+            if not any(op.kind == "kernel" and op.measured is not None
+                       for op in ops):
+                raise ValueError(
+                    f"{args.trace}: no measured counts in the trace "
+                    f"(record it with 'repro run --counters')")
+        else:
+            from .api import Experiment, RunSpec
+
+            spec = RunSpec(
+                workload=args.workload, steps=max(1, args.steps),
+                nx=args.nx if args.nx is not None else 16,
+                ny=args.ny if args.ny is not None else 16,
+                nz=args.nz if args.nz is not None else 12,
+                backend="gpu", counters=True,
+                counter_every=args.counter_every)
+            exp = Experiment(spec).prepare()
+            exp.run()
+            ops = list(exp.runner.device.timeline)
+    except (OSError, ValueError) as exc:
+        print(f"doctor: {exc}", file=sys.stderr)
+        return 2
+    report = roofline_from_records(
+        ops, spec=device_spec(args.device),
+        precision=Precision.SINGLE, table=table)
+    print(_json.dumps(report.as_dict(), indent=2, sort_keys=True)
+          if args.json else report.text())
+    return report.exit_status()
+
+
 def _cmd_doctor(args) -> int:
     """Run the perf doctor (docs/DOCTOR.md): the bench regression gate
-    when ``--regress`` is given, otherwise a trace or model diagnosis."""
+    when ``--regress`` is given, the live roofline with ``--roofline``,
+    otherwise a trace or model diagnosis."""
     import json as _json
 
     from .obs.doctor import SchemaMismatch, regression_gate
@@ -596,6 +714,9 @@ def _cmd_doctor(args) -> int:
               if args.json else gate.text())
         return gate.exit_status()
 
+    if args.roofline:
+        return _doctor_roofline(args)
+
     from .api import parse_ranks
     from .obs.doctor import diagnose_model, diagnose_trace
 
@@ -609,7 +730,9 @@ def _cmd_doctor(args) -> int:
             report = diagnose_model(
                 method=args.method,
                 links_x=min(2, px - 1), links_y=min(2, py - 1),
-                nx=args.nx, ny=args.ny, nz=args.nz)
+                nx=args.nx if args.nx is not None else 320,
+                ny=args.ny if args.ny is not None else 256,
+                nz=args.nz if args.nz is not None else 48)
     except (OSError, ValueError) as exc:
         print(f"doctor: {exc}", file=sys.stderr)
         return 2

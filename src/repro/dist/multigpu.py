@@ -144,7 +144,8 @@ class MultiGpuAsuca:
 
     # ------------------------------------------------------ device telemetry
     def attach_devices(self, spec=None, *, precision=None, order=None,
-                       ns: int | None = None, copy_engines: int = 1) -> list:
+                       ns: int | None = None, copy_engines: int = 1,
+                       counters: bool = False, counter_every: int = 1) -> list:
         """Attach one virtual :class:`~repro.gpu.device.GPUDevice` per
         rank.  Subsequent :meth:`step` calls charge the modeled kernel
         launches of the long step and the halo PCIe copies to each
@@ -167,22 +168,43 @@ class MultiGpuAsuca:
                       label=f"rank{r}", fault_injector=self.faults)
             for r in range(len(self.subs))
         ]
+        #: per-rank counting hooks (measured FLOP/byte per launch); None
+        #: when the run is not counted
+        self._dev_counting = None
+        if counters:
+            from ..gpu.counters import CountingHook
+
+            self._dev_counting = [
+                CountingHook(rank.grid, rank.ref,
+                             precision=self._dev_precision,
+                             sample_every=counter_every)
+                for rank in self.ranks
+            ]
         self._backoff_charged = 0.0
         return self.devices
 
-    def _charge_devices(self, by_pair_before: dict) -> None:
+    def _charge_devices(self, by_pair_before: dict, states=None) -> None:
         """Charge one step's modeled kernels plus the step's halo PCIe
         traffic (D2H on the sender, H2D on the receiver — the GPU-CPU
-        leg of every exchanged strip) to the per-rank timelines."""
+        leg of every exchanged strip) to the per-rank timelines.  On a
+        counted run (``attach_devices(counters=True)``), the per-rank
+        hook measures this step's kernels against the rank state and
+        annotates the launches with measured counts."""
         nz = self.global_grid.nz
-        for rank, device in zip(self.ranks, self.devices):
+        counting = getattr(self, "_dev_counting", None)
+        for r, (rank, device) in enumerate(zip(self.ranks, self.devices)):
             n_points = rank.sub.nx * rank.sub.ny * nz
+            hook = counting[r] if counting is not None else None
+            sampled = (hook is not None and states is not None
+                       and hook.begin_step(self.step_index, states[r]))
             for name, count in self._dev_schedule:
                 kernel = self._dev_kernels[name]
                 for _ in range(count):
-                    kernel.launch(device, n_points,
-                                  precision=self._dev_precision,
-                                  order=self._dev_order)
+                    _, op = kernel.launch(device, n_points,
+                                          precision=self._dev_precision,
+                                          order=self._dev_order)
+                    if sampled:
+                        hook.annotate(op, name, n_points)
         for (src, dst), nbytes in self.comm.stats.by_pair.items():
             delta = nbytes - by_pair_before.get((src, dst), 0)
             if delta <= 0:
@@ -321,7 +343,7 @@ class MultiGpuAsuca:
                     self.relaxation.apply_sliced(st, dt, rank.sub.x0,
                                                  rank.sub.y0)
         if self.devices is not None:
-            self._charge_devices(by_pair_before)
+            self._charge_devices(by_pair_before, new_states)
         self.step_index += 1
         return new_states
 

@@ -82,6 +82,13 @@ class Op:
     deps: tuple[int, ...] = ()
     #: memory regions this op declared (empty = opaque to racecheck)
     accesses: tuple[Access, ...] = ()
+    #: measured FLOP/byte counts of this launch (None = not instrumented).
+    #: Filled by the counting hook (:mod:`repro.gpu.counters`) or a
+    #: ``counter=`` launch; keys: ``flops``, ``bytes_read``,
+    #: ``bytes_written``, ``intensity`` [flop/B], ``points``.  Unlike
+    #: :attr:`flops`/:attr:`bytes_moved` (the analytic cost model) these
+    #: come from actually running the kernel under instrumented arrays.
+    measured: dict | None = None
 
     @property
     def duration(self) -> float:

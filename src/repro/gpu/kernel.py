@@ -19,12 +19,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from .coalescing import ArrayOrder, bandwidth_fraction
 from .device import Event, GPUDevice, Stream
 from .roofline import kernel_time
 from .spec import Precision
 
 __all__ = ["LaunchConfig", "KernelCostModel", "Kernel"]
+
+
+def _unwrap(result):
+    """Strip CountingArray views off a measured launch's result so the
+    instrumentation never leaks into caller-held arrays."""
+    from ..perf.counting import CountingArray
+
+    if isinstance(result, CountingArray):
+        return result.view(np.ndarray)
+    if isinstance(result, tuple):
+        return tuple(_unwrap(r) for r in result)
+    return result
 
 
 @dataclass(frozen=True)
@@ -117,10 +131,42 @@ class Kernel:
         kwargs: dict | None = None,
         after: tuple[Event, ...] = (),
         tag: str | None = None,
+        counter=None,
     ):
         """Run the real function (if any) and charge modeled time.
-        Returns ``(result, Op)``."""
-        result = self.fn(*args, **(kwargs or {})) if self.fn is not None else None
+        Returns ``(result, Op)``.
+
+        With a :class:`~repro.perf.counting.FlopCounter` as ``counter``,
+        every ndarray argument is wrapped in a ``CountingArray`` for this
+        launch and the measured FLOP/element deltas are attached to the
+        op as :attr:`~repro.gpu.device.Op.measured` — the PAPI-per-launch
+        path of the live roofline.  The modeled duration and the numeric
+        result are unaffected (counting arrays are bit-transparent)."""
+        kwargs = kwargs or {}
+        measured: dict | None = None
+        if counter is not None and self.fn is not None:
+            f0, r0, w0 = (counter.flops, counter.elements_read,
+                          counter.elements_written)
+            result = self.fn(
+                *(counter.wrap(a) if isinstance(a, np.ndarray) else a
+                  for a in args),
+                **{k: counter.wrap(v) if isinstance(v, np.ndarray) else v
+                   for k, v in kwargs.items()})
+            result = _unwrap(result)
+            itemsize = precision.itemsize
+            flops = counter.flops - f0
+            bytes_read = (counter.elements_read - r0) * itemsize
+            bytes_written = (counter.elements_written - w0) * itemsize
+            traffic = bytes_read + bytes_written
+            measured = {
+                "flops": flops,
+                "bytes_read": bytes_read,
+                "bytes_written": bytes_written,
+                "intensity": flops / traffic if traffic > 0 else 0.0,
+                "points": float(n_points),
+            }
+        else:
+            result = self.fn(*args, **kwargs) if self.fn is not None else None
         dur = self.duration(n_points, device.spec, precision, order)
         op = device.schedule(
             self.name, "kernel", stream or device.default_stream, dur,
@@ -129,4 +175,5 @@ class Kernel:
             after=after,
             tag=self.tag if tag is None else tag,
         )
+        op.measured = measured
         return result, op

@@ -10,15 +10,20 @@ curve and places kernels on it.
 """
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from .spec import DeviceSpec, Precision
+from .spec import DeviceSpec, Precision, TESLA_S1070
 
 __all__ = [
     "kernel_time",
     "attainable_flops",
     "arithmetic_intensity",
     "ridge_intensity",
+    "RooflinePlacement",
+    "place_kernel",
+    "place_cost_table",
 ]
 
 
@@ -78,3 +83,73 @@ def ridge_intensity(spec: DeviceSpec, precision: Precision = Precision.SINGLE) -
     """Intensity at which a kernel turns compute bound
     (``Fpeak / Bpeak``); ~6.75 flop/B for the Tesla S1070 in SP."""
     return spec.peak_flops(precision) / spec.mem_bandwidth
+
+
+@dataclass(frozen=True)
+class RooflinePlacement:
+    """One kernel's point on the Fig. 5 plot: where it sits on the x axis
+    (arithmetic intensity) and the y axis (achieved GFlops), alongside
+    the Eq.-6 ceiling at that intensity and the raw device peak."""
+
+    name: str
+    intensity: float        #: FLOP/Byte (x axis)
+    gflops: float           #: achieved performance (y axis)
+    ceiling_gflops: float   #: Eq. 6 attainable performance at this intensity
+    peak_gflops: float      #: device peak (the flat compute roof)
+
+    @property
+    def ceiling_fraction(self) -> float:
+        """Achieved / attainable — how close to its own roofline."""
+        return self.gflops / self.ceiling_gflops if self.ceiling_gflops else 0.0
+
+    @property
+    def peak_fraction(self) -> float:
+        """Achieved / device peak — the paper's %-of-peak figure."""
+        return self.gflops / self.peak_gflops if self.peak_gflops else 0.0
+
+
+def place_kernel(
+    name: str,
+    flops: float,
+    bytes_moved: float,
+    time_s: float,
+    spec: DeviceSpec = TESLA_S1070,
+    precision: Precision = Precision.SINGLE,
+) -> RooflinePlacement:
+    """Place one kernel on the roofline from its (measured or modeled)
+    totals: FLOPs executed, bytes moved, and execution time."""
+    intensity = flops / bytes_moved if bytes_moved > 0 else 0.0
+    gflops = flops / time_s / 1e9 if time_s > 0 else 0.0
+    ceiling = float(attainable_flops(intensity, spec, precision)) / 1e9
+    peak = spec.peak_flops(precision) / 1e9
+    return RooflinePlacement(name=name, intensity=intensity, gflops=gflops,
+                             ceiling_gflops=ceiling, peak_gflops=peak)
+
+
+def place_cost_table(
+    n_points: float,
+    *,
+    spec: DeviceSpec = TESLA_S1070,
+    precision: Precision = Precision.SINGLE,
+    kernels=None,
+) -> list[RooflinePlacement]:
+    """Fig. 5 placements of the cost-table kernels at one launch size —
+    the single implementation behind ``repro bench roofline`` and the
+    Fig. 5 benchmark.  ``kernels`` is a sequence of ``(label, name)``
+    pairs, defaulting to the paper's five
+    :data:`~repro.perf.costmodel.ROOFLINE_KERNELS`.
+    """
+    # late import: costmodel imports gpu.kernel, which imports this module
+    from ..perf.costmodel import ASUCA_KERNELS, ROOFLINE_KERNELS
+
+    placements = []
+    for label, name in (kernels if kernels is not None else ROOFLINE_KERNELS):
+        k = ASUCA_KERNELS[name]
+        t = k.duration(n_points, spec, precision)
+        placements.append(place_kernel(
+            label,
+            k.cost.flops(n_points),
+            k.cost.bytes_moved(n_points, precision),
+            t, spec, precision,
+        ))
+    return placements

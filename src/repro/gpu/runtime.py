@@ -40,6 +40,8 @@ class GpuAsucaRunner:
         precision: Precision = Precision.SINGLE,
         order: ArrayOrder = ArrayOrder.XZY,
         ns: int | None = None,
+        counters: bool = False,
+        counter_every: int = 1,
     ):
         from ..perf.costmodel import DEFAULT_NS, launch_schedule, ASUCA_KERNELS
 
@@ -53,6 +55,17 @@ class GpuAsucaRunner:
         self.steps_taken = 0
         g = model.grid
         self.n_points = g.nx * g.ny * g.nz
+        #: optional :class:`~repro.gpu.counters.CountingHook` measuring
+        #: per-launch FLOP/byte counts (``counters=True``); sampling every
+        #: Nth step bounds the measurement overhead
+        self.counting = None
+        if counters:
+            from .counters import CountingHook
+
+            self.counting = CountingHook(
+                model.grid, model.ref,
+                precision=precision, sample_every=counter_every,
+            )
 
     # ------------------------------------------------------------- staging
     def upload(self, state: State) -> None:
@@ -102,13 +115,17 @@ class GpuAsucaRunner:
         """Advance the real model one long step and charge the modeled
         kernel launches to the device."""
         new = self.model.step(state)
+        sampled = (self.counting is not None
+                   and self.counting.begin_step(self.steps_taken, state))
         for name, count in self._schedule:
             k = self._kernels[name]
             for _ in range(count):
-                k.launch(
+                _, op = k.launch(
                     self.device, self.n_points,
                     precision=self.precision, order=self.order,
                 )
+                if sampled:
+                    self.counting.annotate(op, name, self.n_points)
         # keep the staged device copies current (no PCIe traffic: this is
         # device-resident data, the whole point of the full-GPU port)
         for name, d in self._device_arrays.items():

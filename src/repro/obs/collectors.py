@@ -36,15 +36,29 @@ def collect_device(
     m = session.metrics
     kernel_hist = m.histogram("kernel.duration_us")
     for op in device.timeline:
+        measured = getattr(op, "measured", None)
         session.device_ops.append(DeviceOpRecord(
             name=op.name, kind=op.kind, ts=op.start, dur=op.duration,
             pid=pid, tid=f"stream{op.stream}",
             flops=op.flops, bytes_moved=op.bytes_moved, tag=op.tag,
+            measured=measured,
         ))
         if op.kind == "kernel":
             m.counter("kernel.launches").inc()
             m.counter("kernel.flops").inc(op.flops)
             kernel_hist.observe(op.duration * 1e6)
+            if measured is not None:
+                # counted-run accounting: measured totals plus an
+                # achieved-GFlops counter series on this rank's track
+                m.counter("measured.flops").inc(measured.get("flops", 0.0))
+                m.counter("measured.bytes").inc(
+                    measured.get("bytes_read", 0.0)
+                    + measured.get("bytes_written", 0.0))
+                if op.duration > 0:
+                    session.record_counter(
+                        "gflops.achieved",
+                        measured.get("flops", 0.0) / op.duration / 1e9,
+                        ts=op.end, pid=pid)
         elif op.kind == "h2d":
             m.counter("h2d.bytes").inc(op.bytes_moved)
         elif op.kind == "d2h":

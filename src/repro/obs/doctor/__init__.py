@@ -11,6 +11,9 @@ this package says *why it was slow and what to do about it*:
   anomaly detection over service metrics, emitting typed alerts;
 * :mod:`~repro.obs.doctor.regress` — the bench regression gate over
   ``BENCH_*.json`` artifacts;
+* :mod:`~repro.obs.doctor.roofline` — the live roofline: place every
+  on-path kernel of a counted run on the Eq.-6 curve from *measured*
+  FLOP/byte counts and flag drift against the cost table;
 * :mod:`~repro.obs.doctor.load` — read exported traces back in;
 * :mod:`~repro.obs.doctor.doctor` — the report/verdict layer behind
   ``repro doctor`` (docs/DOCTOR.md).
@@ -42,6 +45,7 @@ from .regress import (
     compare_bench,
     regression_gate,
 )
+from .roofline import KernelRoofline, RooflineReport, roofline_from_records
 
 __all__ = [
     "PathSegment", "CriticalPath", "AttributionRow", "OverlapStats",
@@ -52,4 +56,5 @@ __all__ = [
     "LoadedTrace", "load_trace",
     "DeviceDiagnosis", "Verdict", "DoctorReport",
     "diagnose_ops", "diagnose_trace", "diagnose_model",
+    "KernelRoofline", "RooflineReport", "roofline_from_records",
 ]

@@ -87,6 +87,7 @@ def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
             pid = plabel(ev["pid"])
             tid = tid_label.get((ev["pid"], ev["tid"]), f"tid{ev['tid']}")
             args = ev.get("args") or {}
+            measured = args.get("measured")
             trace.device_ops.setdefault(pid, []).append(DeviceOpRecord(
                 name=ev.get("name", "?"), kind=cat,
                 ts=ev["ts"] / 1e6, dur=ev.get("dur", 0.0) / 1e6,
@@ -94,6 +95,7 @@ def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
                 flops=float(args.get("flops", 0.0)),
                 bytes_moved=float(args.get("bytes", 0.0)),
                 tag=str(args.get("tag", "")),
+                measured=measured if isinstance(measured, dict) else None,
             ))
         elif ph == "C":
             pid = plabel(ev["pid"])
@@ -120,12 +122,14 @@ def _load_jsonl(lines: list[str], name: str) -> LoadedTrace:
         if etype == "session":
             trace.name = ev.get("name", name)
         elif etype == "device_op":
+            measured = ev.get("measured")
             trace.device_ops.setdefault(ev["pid"], []).append(DeviceOpRecord(
                 name=ev["name"], kind=ev["kind"], ts=ev["ts"], dur=ev["dur"],
                 pid=ev["pid"], tid=ev.get("tid", "stream0"),
                 flops=float(ev.get("flops", 0.0)),
                 bytes_moved=float(ev.get("bytes", 0.0)),
                 tag=str(ev.get("tag", "")),
+                measured=measured if isinstance(measured, dict) else None,
             ))
         elif etype == "counter":
             trace.counters.setdefault(

@@ -108,12 +108,15 @@ def chrome_trace(session: TraceSession) -> dict[str, Any]:
             "args": rec.args,
         })
     for rec in session.device_ops:
+        op_args = {"flops": rec.flops, "bytes": rec.bytes_moved,
+                   "tag": rec.tag}
+        if rec.measured is not None:
+            op_args["measured"] = rec.measured
         events.append({
             "ph": "X", "name": rec.name, "cat": rec.kind,
             "ts": _us(rec.ts), "dur": _us(rec.dur),
             "pid": pids[rec.pid], "tid": tids[(rec.pid, rec.tid)],
-            "args": {"flops": rec.flops, "bytes": rec.bytes_moved,
-                     "tag": rec.tag},
+            "args": op_args,
         })
     for rec in session.counters:
         # counter events are per-process; tid is ignored by CTF viewers
@@ -166,10 +169,13 @@ def jsonl_events(session: TraceSession) -> Iterator[dict[str, Any]]:
                "pid": rec.pid, "tid": rec.tid, "cat": rec.cat,
                "args": rec.args}
     for rec in session.device_ops:
-        yield {"type": "device_op", "name": rec.name, "kind": rec.kind,
-               "ts": rec.ts, "dur": rec.dur, "pid": rec.pid,
-               "tid": rec.tid, "flops": rec.flops,
-               "bytes": rec.bytes_moved, "tag": rec.tag}
+        ev = {"type": "device_op", "name": rec.name, "kind": rec.kind,
+              "ts": rec.ts, "dur": rec.dur, "pid": rec.pid,
+              "tid": rec.tid, "flops": rec.flops,
+              "bytes": rec.bytes_moved, "tag": rec.tag}
+        if rec.measured is not None:
+            ev["measured"] = rec.measured
+        yield ev
     for rec in session.counters:
         yield {"type": "counter", "name": rec.name, "ts": rec.ts,
                "value": rec.value, "pid": rec.pid, "series": rec.series}

@@ -89,6 +89,9 @@ class DeviceOpRecord:
     flops: float = 0.0
     bytes_moved: float = 0.0
     tag: str = ""
+    #: measured FLOP/byte counts from a counted run (see
+    #: :attr:`repro.gpu.device.Op.measured`); None on uncounted launches
+    measured: dict | None = None
 
     @property
     def start(self) -> float:
@@ -250,6 +253,15 @@ class TraceSession:
             makespan = max(d.elapsed() for d in self.devices.values())
             m.gauge("gflops.sustained").set(
                 total_flops / makespan / 1e9 if makespan > 0 else 0.0)
+        # measured (counted-run) achieved GFlops: measured FLOPs of the
+        # annotated kernel ops over their summed execution time
+        meas_flops = meas_time = 0.0
+        for rec in self.device_ops:
+            if rec.kind == "kernel" and rec.measured is not None:
+                meas_flops += rec.measured.get("flops", 0.0)
+                meas_time += rec.dur
+        if meas_time > 0:
+            m.gauge("gflops.measured").set(meas_flops / meas_time / 1e9)
         return m
 
 

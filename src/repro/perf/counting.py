@@ -19,15 +19,21 @@ validated against these measured counts on small grids.
 """
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 __all__ = ["CountingArray", "FlopCounter", "UFUNC_FLOP_WEIGHTS"]
 
 #: flops charged per output element for each ufunc family.  Transcendental
 #: weights follow common PAPI-era conventions (an exp/log is ~8-20 FP ops
-#: of polynomial evaluation in hardware/libm).
+#: of polynomial evaluation in hardware/libm).  ``matmul`` is special: its
+#: per-output-element cost depends on the contracted extent k, so the
+#: entry is the flops per multiply-add *pair* and :meth:`FlopCounter.charge`
+#: multiplies by k.
 UFUNC_FLOP_WEIGHTS: dict[str, float] = {
     "add": 1, "subtract": 1, "multiply": 1, "true_divide": 4, "divide": 4,
+    "matmul": 2,
     "negative": 1, "positive": 0, "absolute": 1, "sign": 1,
     "maximum": 1, "minimum": 1, "fmax": 1, "fmin": 1, "clip": 2,
     "sqrt": 4, "cbrt": 6, "reciprocal": 4,
@@ -44,6 +50,11 @@ UFUNC_FLOP_WEIGHTS: dict[str, float] = {
     "copysign": 1, "nextafter": 1, "spacing": 1, "heaviside": 1,
     "deg2rad": 1, "rad2deg": 1, "conjugate": 0,
 }
+
+#: ufunc names already warned about this session (warn once, not per call
+#: or per counter — a hot loop hitting an unweighted ufunc would otherwise
+#: flood stderr)
+_WARNED_UFUNCS: set[str] = set()
 
 
 class FlopCounter:
@@ -67,10 +78,27 @@ class FlopCounter:
         return out
 
     def charge(self, ufunc: np.ufunc, inputs, output_size: int) -> None:
-        weight = UFUNC_FLOP_WEIGHTS.get(ufunc.__name__)
+        name = ufunc.__name__
+        weight = UFUNC_FLOP_WEIGHTS.get(name)
         if weight is None:
             weight = 1.0
-            self.unknown_ufuncs.add(ufunc.__name__)
+            self.unknown_ufuncs.add(name)
+            if name not in _WARNED_UFUNCS:
+                _WARNED_UFUNCS.add(name)
+                warnings.warn(
+                    f"FlopCounter: ufunc {name!r} has no entry in "
+                    f"UFUNC_FLOP_WEIGHTS; counting it at 1 flop per "
+                    f"element (add a weight to make the count exact)",
+                    RuntimeWarning, stacklevel=4)
+        if name == "matmul":
+            # (..., n, k) @ (..., k, m): 2k flops (k multiply-add pairs)
+            # per output element; k is the last axis of the first operand
+            k = 1
+            for x in inputs:
+                if isinstance(x, np.ndarray) and x.ndim >= 1:
+                    k = x.shape[-1]
+                    break
+            weight = weight * k
         self.flops += weight * output_size
         for x in inputs:
             if isinstance(x, np.ndarray):
@@ -107,7 +135,8 @@ class CountingArray(np.ndarray):
             )
         result = getattr(ufunc, method)(*raw_inputs, **kwargs)
 
-        if counter is not None and method in ("__call__", "reduce", "accumulate"):
+        if counter is not None and method in ("__call__", "reduce",
+                                              "accumulate", "outer"):
             if isinstance(result, tuple):
                 size = max(np.size(r) for r in result)
             else:

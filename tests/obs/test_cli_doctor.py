@@ -83,6 +83,59 @@ def test_doctor_regress_gate(tmp_path, capsys):
                  "--tolerance", "nonsense"]) == 2
 
 
+ROOFLINE_FAST = ["doctor", "--roofline", "--steps", "1"]
+
+
+def test_doctor_roofline_clean(capsys):
+    assert main(ROOFLINE_FAST) == 0
+    out = capsys.readouterr().out
+    assert "live roofline" in out and "ridge" in out
+    assert "warm_rain" in out and "coord_transform" in out
+    assert "0 drift error(s)" in out
+
+
+def test_doctor_roofline_json_ranking(capsys):
+    assert main([*ROOFLINE_FAST, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert doc["measured_ops"] == doc["total_ops"] > 0
+    by_name = {k["name"]: k for k in doc["kernels"]}
+    # kernels come sorted by achieved GFlops; the paper's extremes hold
+    # among the five Fig. 5 kernels
+    five = ["coord_transform", "pgf_x", "advection", "helmholtz",
+            "warm_rain"]
+    achieved = {n: by_name[n]["achieved_gflops"] for n in five}
+    assert achieved["coord_transform"] == min(achieved.values())
+    assert achieved["warm_rain"] == max(achieved.values())
+    assert by_name["warm_rain"]["intensity"] > doc["ridge"]
+
+
+def test_doctor_roofline_seed_drift_gates(capsys):
+    """The hidden drift injector proves the ROOF01 gate has teeth."""
+    assert main([*ROOFLINE_FAST, "--seed-drift", "advection:25"]) == 1
+    assert "ROOF01" in capsys.readouterr().out
+    assert main([*ROOFLINE_FAST, "--seed-drift", "nonsense"]) == 2
+    assert main([*ROOFLINE_FAST, "--seed-drift", "no_such_kernel:2"]) == 2
+
+
+def test_doctor_roofline_counted_trace_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "counted.jsonl"
+    assert main(["run", "shear-layer", "--nx", "16", "--ny", "16",
+                 "--nz", "12", "--steps", "1", "--counters",
+                 "--trace-jsonl", str(trace)]) == 0
+    assert "counters:" in capsys.readouterr().out
+    assert main(["doctor", "--roofline", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "live roofline" in out and "0 drift error(s)" in out
+
+
+def test_doctor_roofline_uncounted_trace_is_usage_error(tmp_path, capsys):
+    trace = tmp_path / "uncounted.jsonl"
+    trace.write_text(JSONL_TRACE)
+    assert main(["doctor", "--roofline", "--trace", str(trace)]) == 2
+    assert "--counters" in capsys.readouterr().err
+
+
 def test_serve_slo_exit_codes(capsys):
     assert main([*FAST_SERVE, "--slo", "p95_wait_s<1e9"]) == 0
     assert "all objectives met" in capsys.readouterr().out

@@ -1,8 +1,10 @@
 """Tests of the instrumented-array FLOP counter (PAPI substitute)."""
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.perf.counting import CountingArray, FlopCounter
+from repro.perf.counting import CountingArray, FlopCounter, _WARNED_UFUNCS
 
 
 @pytest.fixture
@@ -91,6 +93,38 @@ def test_results_bit_identical(counter):
     wrapped = counter.wrap(x.copy())
     instrumented = np.exp(wrapped) + np.sqrt(np.abs(wrapped)) / (1.0 + wrapped * wrapped)
     np.testing.assert_array_equal(plain, instrumented.view(np.ndarray))
+
+
+def test_matmul_scales_with_contracted_extent(counter):
+    """(n, k) @ (k, m) is 2k flops (k multiply-add pairs) per output
+    element, not a flat per-element weight."""
+    a = counter.wrap(np.ones((4, 5)))
+    _ = a @ np.ones((5, 6))
+    assert counter.flops == 2 * 5 * (4 * 6)
+
+
+def test_outer_method_counts_output_size(counter):
+    a = counter.wrap(np.ones(7))
+    r = np.multiply.outer(a, np.ones(9))
+    assert r.shape == (7, 9)
+    assert counter.flops == 63
+    assert isinstance(r, CountingArray)
+
+
+def test_unknown_ufunc_warns_once(counter):
+    """An unweighted ufunc is charged at 1 flop/element with a single
+    RuntimeWarning per session, then stays silent."""
+    _WARNED_UFUNCS.discard("ldexp")
+    a = counter.wrap(np.ones(10))
+    e = np.full(10, 2, dtype=np.int64)
+    with pytest.warns(RuntimeWarning, match="ldexp"):
+        _ = np.ldexp(a, e)
+    assert counter.flops == 10
+    assert "ldexp" in counter.unknown_ufuncs
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")   # a second warning would raise
+        _ = np.ldexp(a, e)
+    assert counter.flops == 20
 
 
 def test_measure_real_kernel(counter):
