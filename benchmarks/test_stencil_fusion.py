@@ -1,0 +1,132 @@
+"""Stencil fusion — the fused executor vs the reference NumPy kernels.
+
+The fused backend changes only memory management (pooled temporaries,
+``out=`` ufuncs, precompiled slice plans; docs/STENCILS.md), so it must
+be bit-identical to the reference while shedding allocator traffic.
+Anchors:
+
+* per-kernel wall-clock speedup on the hot dycore kernels at a
+  production-like tile (64x64x32): the aggregate must beat 1.1x (the
+  measured wins are ~1.4x advection, ~3x hyperdiffusion);
+* bit-identity of every timed kernel output (``np.array_equal``);
+* deterministic dispatch/pool statistics of a fixed end-to-end run —
+  the numbers ``repro doctor --regress`` gates in CI, since wall-clock
+  is too noisy to gate there (wall metrics ship with the artifact but
+  the CI gate ignores them by pattern).
+
+The numbers land in ``benchmarks/reports/BENCH_stencil_fusion.json``.
+"""
+import time
+
+import numpy as np
+
+from bench_json import write_bench_json
+from repro.api import Experiment, RunSpec
+from repro.core.advection import advect_scalar, advect_u
+from repro.core.diffusion import hyperdiffusion_c, vertical_diffusion_c
+from repro.core.grid import make_grid
+from repro.core.helmholtz import HelmholtzOperator
+from repro.core.pressure import eos_pressure
+from repro.perf.report import format_table
+from repro.stencil import StencilExecutor, use_executor
+
+NX, NY, NZ = 64, 64, 32
+ROUNDS = 5          #: timed repetitions per kernel; best-of wins
+MIN_SPEEDUP = 1.1   #: aggregate fused-vs-reference gate
+
+
+def _inputs():
+    g = make_grid(nx=NX, ny=NY, nz=NZ, dx=100.0, dy=100.0, ztop=3200.0)
+    r = np.random.default_rng(0)
+    phi = r.normal(size=(g.nxh, g.nyh, g.nz))
+    fx = r.normal(size=(g.nxh + 1, g.nyh, g.nz))
+    fy = r.normal(size=(g.nxh, g.nyh + 1, g.nz))
+    fz = r.normal(size=(g.nxh, g.nyh, g.nz + 1))
+    u = r.normal(size=(g.nxh + 1, g.nyh, g.nz))
+    return g, phi, fx, fy, fz, u
+
+
+def _kernels():
+    from repro.core.pressure import linearization_coefficient
+
+    g, phi, fx, fy, fz, u = _inputs()
+    rng = np.random.default_rng(1)
+    rt = np.abs(rng.normal(size=g.shape_c)) * 30.0 + 250.0
+    thf = np.abs(rng.normal(size=(g.nxh, g.nyh, g.nz + 1))) + 280.0
+    op = HelmholtzOperator(
+        g, thf, linearization_coefficient(eos_pressure.reference(rt, g), rt),
+        dtau=0.05, beta=0.6)
+    rhs = rng.normal(size=(g.nxh, g.nyh, g.nz - 1))
+    return [
+        ("advect_scalar", advect_scalar, (phi, fx, fy, fz, g)),
+        ("advect_u", advect_u, (u, fx, fy, fz, g)),
+        ("hyperdiffusion_c", hyperdiffusion_c, (phi, g)),
+        ("vertical_diffusion_c", vertical_diffusion_c, (phi, g, 10.0)),
+        ("eos_pressure", eos_pressure, (rt, g)),
+        ("helmholtz_solve", lambda: op.solve(rhs), ()),
+    ]
+
+
+def _time_kernel(fn, args, backend):
+    ex = StencilExecutor(backend)
+    with use_executor(ex):
+        out = fn(*args)                      # warm-up (and pool priming)
+        best = float("inf")
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            out = fn(*args)
+            best = min(best, time.perf_counter() - t0)
+    return best, out, ex
+
+
+def test_fused_kernels_speed_up_bit_identically(emit):
+    rows, payload = [], {}
+    total_ref = total_fused = 0.0
+    for name, fn, args in _kernels():
+        t_ref, out_ref, _ = _time_kernel(fn, args, "reference")
+        t_fused, out_fused, ex = _time_kernel(fn, args, "fused")
+        assert np.array_equal(out_ref, out_fused), f"{name} not bit-identical"
+        assert ex.accelerated > 0, f"{name} never took the fused path"
+        total_ref += t_ref
+        total_fused += t_fused
+        rows.append([name, t_ref * 1e3, t_fused * 1e3, t_ref / t_fused])
+        payload[name] = {"wall_reference_ms": t_ref * 1e3,
+                         "wall_fused_ms": t_fused * 1e3,
+                         "wall_speedup": t_ref / t_fused}
+    speedup = total_ref / total_fused
+    rows.append(["TOTAL", total_ref * 1e3, total_fused * 1e3, speedup])
+
+    # deterministic end-to-end stats for the CI regression gate: a fixed
+    # shear-layer run's dispatch counts and pool accounting never move
+    # unless the kernels or the executor change
+    exp = Experiment(RunSpec(workload="shear-layer", steps=3,
+                             nx=16, ny=16, nz=12,
+                             stencil_backend="fused")).prepare()
+    exp.run()
+    stats = exp.executor.stats()
+
+    emit(format_table(
+        ["kernel", "reference [ms]", "fused [ms]", "speedup"], rows,
+        title=f"Stencil fusion — {NX}x{NY}x{NZ} tile, best of {ROUNDS}; "
+              f"fixed-run stats: {exp.executor.report()}"))
+    write_bench_json("stencil_fusion", {
+        "tile": f"{NX}x{NY}x{NZ}",
+        "kernels": payload,
+        "wall_speedup_total": speedup,
+        "fixed_run": {
+            "workload": "shear-layer 16x16x12 x3 steps",
+            "dispatches": stats["dispatches"],
+            "accelerated": stats["accelerated"],
+            "fallbacks": stats["fallbacks"],
+            "pool_allocations": stats["allocations"],
+            "pool_reuses": stats["reuses"],
+            "pool_reuse_fraction": round(stats["reuse_fraction"], 6),
+            "pool_bytes_allocated": stats["bytes_allocated"],
+        },
+    })
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused aggregate speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x gate")
+    assert stats["accelerated"] > stats["fallbacks"]
+    assert stats["reuse_fraction"] > 0.9

@@ -11,9 +11,11 @@ finding format:
 * **memcheck** (:mod:`repro.analysis.memcheck`) — DeviceArray lifecycle
   tracking: use-after-free, double free, leaks at teardown,
   uninitialized reads, allocator accounting drift;
-* **asuca-lint** (:mod:`repro.analysis.lint`) — AST-level enforcement of
-  the paper's structural invariants: no PCIe transfers inside the step
-  loop, occupancy-valid launch configurations, stencils within the halo.
+* **asuca-lint** (:mod:`repro.analysis.lint`) — enforcement of the
+  paper's structural invariants: no PCIe transfers inside the step loop
+  and occupancy-valid launch configurations (AST), plus probe-verified
+  stencil halo declarations (LINT03 runs each kernel against its
+  ``@stencil`` declaration instead of guessing from slices).
 
 ``repro analyze`` (the CLI) runs them all; :func:`repro.analysis.run_all`
 is the library entry point.
@@ -26,7 +28,7 @@ from .driver import (
     sanitized_gpu_smoke,
     sanitized_multigpu_smoke,
 )
-from .lint import lint_paths
+from .lint import lint_paths, lint_stencils
 from .memcheck import MemcheckTracker, memcheck_session
 from .racecheck import (
     happens_before,
@@ -37,7 +39,7 @@ from .racecheck import (
 
 __all__ = [
     "CODES", "Finding", "Report",
-    "lint_pass", "lint_paths",
+    "lint_pass", "lint_paths", "lint_stencils",
     "racecheck_overlap_methods", "run_all",
     "sanitized_gpu_smoke", "sanitized_multigpu_smoke",
     "MemcheckTracker", "memcheck_session",

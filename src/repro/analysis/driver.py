@@ -23,7 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from .findings import Finding, Report
-from .lint import lint_paths
+from .lint import lint_paths, lint_stencils
 from .memcheck import memcheck_session
 from .racecheck import racecheck_device
 
@@ -46,8 +46,12 @@ OVERLAP_VARIANTS: dict[str, tuple[dict, bool]] = {
 
 
 def lint_pass(root: str | Path) -> tuple[list[Finding], list[Finding]]:
-    """asuca-lint over ``root``; returns (findings, suppressed)."""
-    return lint_paths(root)
+    """asuca-lint over ``root``: the AST rules (LINT01/LINT02) plus the
+    declaration-driven stencil halo probes (LINT03); returns
+    (findings, suppressed)."""
+    findings, suppressed = lint_paths(root)
+    sf, ss = lint_stencils()
+    return findings + sf, suppressed + ss
 
 
 def racecheck_overlap_methods(

@@ -18,13 +18,19 @@ Three rules, each guarding a claim the paper's speedup rests on:
   limit and keep >= 50% occupancy (the era's latency-hiding threshold,
   :mod:`repro.gpu.occupancy`).
 
-* ``LINT03`` — **stencil widths**: constant slice offsets in the bound
-  GPU kernels (``gpu/asuca_kernels.py`` by default) must not exceed the
-  grid's declared halo width — a wider stencil would read a neighbor
-  rank's unexchanged cells.
+* ``LINT03`` — **stencil widths**: every ``@stencil`` declaration in
+  ``core/``/``physics/`` must fit the grid's halo budget, and the
+  declared width must be *true*: the probe harness
+  (:mod:`repro.stencil.verify`) perturbs halo rings beyond the declared
+  width and asserts the kernel's interior output is invariant.  A kernel
+  that reads farther than it declares would read a neighbor rank's
+  unexchanged cells in a distributed run.  (This replaces the old
+  AST slice-offset guess — the declaration is now the source of truth,
+  and the check runs the kernel instead of pattern-matching its source.)
 
 Suppression: an inline ``# sanitizer: allow[CODE] <rationale>`` comment
-on the flagged line moves the finding to the report's suppressed list.
+on the flagged line (for LINT03: the ``@stencil`` declaration line)
+moves the finding to the report's suppressed list.
 """
 from __future__ import annotations
 
@@ -34,7 +40,7 @@ from pathlib import Path
 from ..gpu.occupancy import GT200_LIMITS, SMLimits, occupancy
 from .findings import Finding
 
-__all__ = ["lint_paths", "declared_halo"]
+__all__ = ["lint_paths", "lint_stencils", "declared_halo"]
 
 #: transfer methods the full-GPU invariant forbids inside step loops
 TRANSFER_NAMES = frozenset({"copy_to_host", "copy_from_host"})
@@ -45,8 +51,6 @@ STEP_LOOP_FUNCS = frozenset({"run", "advance"})
 #: function-name substrings exempt from LINT01 (restart/halo machinery
 #: legitimately transfers at its own accounted points)
 ALLOW_NAME_PATTERNS = ("checkpoint", "halo", "restore", "recover")
-#: files whose slice offsets are held to the halo width
-STENCIL_FILES = ("gpu/asuca_kernels.py",)
 
 
 def declared_halo() -> int:
@@ -81,15 +85,12 @@ def _suppressed(source_lines: list[str], lineno: int, code: str) -> bool:
 
 class _ModuleLint:
     def __init__(self, path: Path, display: str, tree: ast.Module,
-                 source_lines: list[str], *, halo: int, limits: SMLimits,
-                 check_stencils: bool):
+                 source_lines: list[str], *, limits: SMLimits):
         self.path = path
         self.display = display
         self.tree = tree
         self.lines = source_lines
-        self.halo = halo
         self.limits = limits
-        self.check_stencils = check_stencils
         self.findings: list[Finding] = []
         self.suppressed: list[Finding] = []
         #: function name -> does any same-name function here transfer?
@@ -201,61 +202,97 @@ class _ModuleLint:
                                "(64, 4, 1))",
                 ))
 
-    # ---------------------------------------------------------- LINT03
-    def check_stencil_slices(self) -> None:
-        if not self.check_stencils:
-            return
-        for sub in ast.walk(self.tree):
-            if not isinstance(sub, ast.Subscript):
-                continue
-            for sl in ast.walk(sub.slice):
-                if not isinstance(sl, ast.Slice):
-                    continue
-                for bound, sign in ((sl.lower, 1), (sl.upper, -1)):
-                    if not (isinstance(bound, ast.Constant)
-                            and isinstance(bound.value, int)):
-                        continue
-                    offset = sign * bound.value
-                    if offset <= 0:
-                        continue        # full-range or interior-growing
-                    if offset > self.halo:
-                        self._emit(Finding(
-                            code="LINT03",
-                            message=(f"slice offset {offset} exceeds the "
-                                     f"declared halo width {self.halo}; "
-                                     f"the stencil would read unexchanged "
-                                     f"neighbor cells"),
-                            file=self.display, line=sub.lineno,
-                            suggestion="widen the halo or narrow the "
-                                       "stencil",
-                        ))
-
 
 def lint_paths(
     root: str | Path,
     *,
-    halo: int | None = None,
     limits: SMLimits = GT200_LIMITS,
-    stencil_files: tuple[str, ...] = STENCIL_FILES,
 ) -> tuple[list[Finding], list[Finding]]:
-    """Lint every ``*.py`` under ``root`` (or the single file ``root``);
-    returns ``(findings, suppressed)``."""
+    """AST lint (LINT01/LINT02) over every ``*.py`` under ``root`` (or
+    the single file ``root``); returns ``(findings, suppressed)``.  The
+    stencil-width check is :func:`lint_stencils` — it runs kernels, not
+    the AST."""
     root = Path(root)
     files = [root] if root.is_file() else sorted(root.rglob("*.py"))
-    halo = declared_halo() if halo is None else halo
     findings: list[Finding] = []
     suppressed: list[Finding] = []
     for path in files:
         display = str(path)
         text = path.read_text()
         tree = ast.parse(text, filename=display)
-        posix = path.as_posix()
-        mod = _ModuleLint(
-            path, display, tree, text.splitlines(), halo=halo, limits=limits,
-            check_stencils=any(posix.endswith(s) for s in stencil_files))
+        mod = _ModuleLint(path, display, tree, text.splitlines(),
+                          limits=limits)
         mod.check_step_transfers()
         mod.check_launch_configs()
-        mod.check_stencil_slices()
         findings.extend(mod.findings)
         suppressed.extend(mod.suppressed)
+    return findings, suppressed
+
+
+# -------------------------------------------------------------------- LINT03
+def _origin_suppressed(origin: tuple[str, int]) -> bool:
+    try:
+        lines = Path(origin[0]).read_text().splitlines()
+    except OSError:
+        return False
+    return _suppressed(lines, origin[1], "LINT03")
+
+
+def lint_stencils(
+    *, halo: int | None = None, seed: int = 0,
+) -> tuple[list[Finding], list[Finding]]:
+    """LINT03 over the stencil declarations; returns
+    ``(findings, suppressed)``.
+
+    Two checks per registered :class:`~repro.stencil.spec.StencilSpec`:
+
+    * the declared halo must fit the grid's halo budget
+      (:func:`declared_halo`), and
+    * the declaration must be honest — the probe harness perturbs every
+      halo ring beyond the declared width and the kernel's interior
+      output must not change (:func:`repro.stencil.verify.probe_spec`).
+
+    Findings anchor at the ``@stencil`` declaration (``spec.origin``),
+    where an inline ``# sanitizer: allow[LINT03]`` comment suppresses.
+    """
+    from ..stencil import load_dycore_specs
+    from ..stencil.verify import probe_all
+
+    budget = declared_halo() if halo is None else halo
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+
+    def emit(finding: Finding, origin: tuple[str, int]) -> None:
+        if _origin_suppressed(origin):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+
+    specs = load_dycore_specs()
+    for name, spec in sorted(specs.items()):
+        origin = spec.origin or ("<unknown>", 0)
+        if spec.halo > budget:
+            emit(Finding(
+                code="LINT03",
+                message=(f"stencil '{name}' declares halo {spec.halo}, "
+                         f"wider than the grid's halo budget {budget} — "
+                         f"the exchange cannot satisfy it"),
+                file=origin[0], line=origin[1],
+                suggestion="narrow the stencil or raise the grid halo",
+            ), origin)
+    for result in probe_all(seed=seed):
+        if result.probed and not result.clean:
+            spec = specs.get(result.name)
+            origin = (spec.origin if spec and spec.origin
+                      else ("<unknown>", 0))
+            emit(Finding(
+                code="LINT03",
+                message=(f"stencil '{result.name}' declares halo "
+                         f"{result.declared_halo} but reads farther: "
+                         f"{result.detail}"),
+                file=origin[0], line=origin[1],
+                suggestion="raise the declared halo to the width the "
+                           "kernel actually reads (and check the halo "
+                           "exchange covers it)",
+            ), origin)
     return findings, suppressed

@@ -75,8 +75,7 @@ WORKLOADS = ("mountain-wave", "warm-bubble", "real-case", "shear-layer")
 
 def make_case(workload: str, **kwargs):
     """Build a workload case (grid + reference + model + state bundle) by
-    name — the single implementation behind every entry point (the CLI's
-    old ``_make_case`` is a deprecated shim over this)."""
+    name — the single implementation behind every entry point."""
     factories = _workload_factories()
     try:
         factory = factories[workload]
@@ -139,6 +138,11 @@ class RunSpec:
     ranks: "tuple[int, int] | str | None" = None
     precision: Any = None           #: gpu/multigpu modeled precision
     ice: bool = False
+    #: stencil executor backend ('reference' / 'fused' / 'numba', or
+    #: 'auto' = the process default, i.e. $REPRO_STENCIL_BACKEND or
+    #: 'reference') — the fused path is bit-identical to the reference,
+    #: so this never enters the spec hash (see _NON_SEMANTIC_FIELDS)
+    stencil_backend: str = "auto"
     # ---------------------------------------------------- observability
     trace_path: str | None = None
     trace_jsonl: str | None = None
@@ -183,6 +187,19 @@ class RunSpec:
             raise ValueError("steps must be >= 0")
         if self.counter_every < 1:
             raise ValueError("counter_every must be >= 1")
+        from .stencil import BACKENDS, default_backend, numba_available
+
+        stencil_backend = self.stencil_backend
+        if stencil_backend == "auto":
+            stencil_backend = default_backend()
+        if stencil_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown stencil backend {self.stencil_backend!r}; "
+                f"choose one of auto, {', '.join(BACKENDS)}")
+        if stencil_backend == "numba" and not numba_available():
+            raise ValueError(
+                "stencil backend 'numba' needs numba installed; "
+                "use 'fused' or 'reference'")
         if self.counters and backend == "cpu":
             raise ValueError(
                 "counters need a device-backed backend ('gpu'/'multigpu')")
@@ -190,6 +207,7 @@ class RunSpec:
             raise ValueError(
                 "checkpointing/resume needs checkpoint_dir")
         return replace(self, backend=backend, ranks=ranks,
+                       stencil_backend=stencil_backend,
                        faults=FaultPlan.parse(self.faults))
 
     # ---------------------------------------------------------- identity
@@ -203,6 +221,11 @@ class RunSpec:
         # counting only annotates device ops with measurements; the
         # computed fields are bit-identical with or without it
         "counters", "counter_every",
+        # the fused executor is bit-identical to the reference (enforced
+        # by tests/stencil/test_fused_identity.py), so the backend choice
+        # does not change what a run computes — a cached result from one
+        # backend is valid for all of them
+        "stencil_backend",
     })
 
     def canonical_dict(self) -> dict[str, Any]:
@@ -269,6 +292,8 @@ class RunResult:
     resumed_from: int | None = None
     halo_messages: int = 0
     halo_bytes: int = 0
+    #: stencil executor dispatch/pool stats (StencilExecutor.stats())
+    stencil_stats: dict | None = None
 
     @property
     def spec_hash(self) -> str:
@@ -315,6 +340,7 @@ class Experiment:
         self.rank_states: list[State] | None = None
         self.runner = None                  #: GpuAsucaRunner (gpu)
         self.session: TraceSession | None = None
+        self.executor = None                #: StencilExecutor
         self.timer = None
         self.injector: FaultInjector | None = None
         self.checkpoints: CheckpointManager | None = None
@@ -341,6 +367,10 @@ class Experiment:
         if spec.ice:
             self.model.config.ice_enabled = True
             self.model.config.physics_enabled = True
+
+        from .stencil import StencilExecutor
+
+        self.executor = StencilExecutor(spec.stencil_backend)
 
         if spec.faults and len(spec.faults):
             self.injector = FaultInjector(spec.faults)
@@ -411,8 +441,13 @@ class Experiment:
 
     @contextlib.contextmanager
     def _contexts(self):
-        """Activate the session/profiler around any stepping."""
+        """Activate the stencil executor/session/profiler around any
+        stepping."""
+        from .stencil import use_executor
+
         with contextlib.ExitStack() as stack:
+            if self.executor is not None:
+                stack.enter_context(use_executor(self.executor))
             if self.session is not None:
                 stack.enter_context(use_session(self.session))
             if self.timer is not None:
@@ -575,6 +610,8 @@ class Experiment:
             resumed_from=self.resumed_from,
             halo_messages=comm.stats.messages if comm is not None else 0,
             halo_bytes=comm.stats.bytes_total if comm is not None else 0,
+            stencil_stats=(self.executor.stats()
+                           if self.executor is not None else None),
         )
 
     @property

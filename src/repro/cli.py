@@ -70,6 +70,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "is given, gpu when traced, else cpu)")
     run.add_argument("--ranks", type=str, default=None, metavar="PXxPY",
                      help="decompose, e.g. 2x3 (verifies against single-domain)")
+    run.add_argument("--stencil-backend", default="auto",
+                     choices=["auto", "reference", "fused", "numba"],
+                     help="stencil executor backend (docs/STENCILS.md): "
+                          "'fused' reuses pooled temporaries and "
+                          "precompiled slice plans, bit-identical to "
+                          "'reference'; 'auto' follows "
+                          "$REPRO_STENCIL_BACKEND, else 'reference'")
     run.add_argument("--history", type=str, default=None,
                      help="write snapshots to this .npz")
     run.add_argument("--history-every", type=float, default=60.0,
@@ -303,22 +310,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # --------------------------------------------------------------------- run
-def _make_case(args):
-    """Deprecated: case construction now lives in
-    :func:`repro.api.make_case`; this shim remains only for code that
-    imported it from the CLI."""
-    import warnings
-
-    warnings.warn(
-        "repro.cli._make_case is deprecated; use repro.api.make_case "
-        "(or drive runs through repro.api.Experiment)",
-        DeprecationWarning, stacklevel=2)
-    from .api import make_case
-
-    return make_case(args.workload, nx=args.nx, ny=args.ny, nz=args.nz,
-                     dt=args.dt)
-
-
 def _spec_from_args(args) -> "RunSpec":
     from .api import RunSpec
 
@@ -331,6 +322,7 @@ def _spec_from_args(args) -> "RunSpec":
         steps=args.steps,
         nx=args.nx, ny=args.ny, nz=args.nz, dt=args.dt,
         backend=getattr(args, "backend", "auto"),
+        stencil_backend=getattr(args, "stencil_backend", "auto"),
         ranks=args.ranks or None,
         ice=args.ice,
         trace_path=getattr(args, "trace", None),
@@ -378,6 +370,8 @@ def _cmd_run(args) -> int:
             print(result.session.metrics.report())
     if exp.timer is not None:
         print(exp.timer.report())
+    if exp.executor is not None and exp.executor.backend != "reference":
+        print(exp.executor.report())
     if exp.spec.counters:
         hooks = ([exp.runner.counting] if exp.runner is not None
                  else list(getattr(exp.machine, "_dev_counting", None) or []))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..stencil.spec import stencil
 from .grid import Grid
 
 __all__ = [
@@ -30,6 +31,8 @@ __all__ = [
 DIFFUSION_FLOPS_PER_POINT = 10
 
 
+@stencil(reads=("phi",), writes=("lap",), halo=1,
+         flops=DIFFUSION_FLOPS_PER_POINT, loads=5, stores=1)
 def horizontal_laplacian_c(phi: np.ndarray, grid: Grid) -> np.ndarray:
     """5-point horizontal Laplacian of a cell-centered field, valid on
     interior cells (full-shape output, halo zero)."""
@@ -54,6 +57,8 @@ def _lap_on(phi: np.ndarray, sx: slice, sy: slice, dx: float, dy: float) -> np.n
     )
 
 
+@stencil(reads=("u",), writes=("lap_u",), halo=1,
+         flops=DIFFUSION_FLOPS_PER_POINT, loads=5, stores=1)
 def horizontal_laplacian_u(u: np.ndarray, grid: Grid) -> np.ndarray:
     out = np.zeros_like(u)
     sx, sy = grid.isl_u
@@ -61,6 +66,8 @@ def horizontal_laplacian_u(u: np.ndarray, grid: Grid) -> np.ndarray:
     return out
 
 
+@stencil(reads=("v",), writes=("lap_v",), halo=1,
+         flops=DIFFUSION_FLOPS_PER_POINT, loads=5, stores=1)
 def horizontal_laplacian_v(v: np.ndarray, grid: Grid) -> np.ndarray:
     out = np.zeros_like(v)
     sx, sy = grid.isl_v
@@ -68,6 +75,8 @@ def horizontal_laplacian_v(v: np.ndarray, grid: Grid) -> np.ndarray:
     return out
 
 
+@stencil(reads=("w",), writes=("lap_w",), halo=1,
+         flops=DIFFUSION_FLOPS_PER_POINT, loads=5, stores=1)
 def horizontal_laplacian_w(w: np.ndarray, grid: Grid) -> np.ndarray:
     out = np.zeros_like(w)
     sx, sy = grid.isl
@@ -75,6 +84,8 @@ def horizontal_laplacian_w(w: np.ndarray, grid: Grid) -> np.ndarray:
     return out
 
 
+@stencil(reads=("phi",), writes=("hyp",), halo=2,
+         flops=2 * DIFFUSION_FLOPS_PER_POINT, loads=9, stores=1)
 def hyperdiffusion_c(phi: np.ndarray, grid: Grid) -> np.ndarray:
     """4th-order horizontal hyperdiffusion operator ``-lap(lap(phi))`` for
     cell-centered fields: scale-selective damping of grid noise with
@@ -97,6 +108,8 @@ def hyperdiffusion_c(phi: np.ndarray, grid: Grid) -> np.ndarray:
     return out
 
 
+@stencil(reads=("phi", "kv"), writes=("tend_phi",), halo=0,
+         march_axis="z", flops=8, loads=4, stores=1)
 def vertical_diffusion_c(
     phi: np.ndarray, grid: Grid, kv: float | np.ndarray
 ) -> np.ndarray:

@@ -29,8 +29,6 @@ distributed timeline reflects it.
 """
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from ..core.state import State
@@ -70,8 +68,7 @@ class HaloExchanger:
         the transport and the ranks it connects.
     topology
         the per-axis boundary treatment; build it with
-        :meth:`Topology.from_grid`.  (The legacy ``periodic_x=`` /
-        ``periodic_y=`` keywords still work but are deprecated.)
+        :meth:`Topology.from_grid`.
     retry
         :class:`~repro.resilience.retry.RetryPolicy` governing recovery
         from transport faults; defaults to a fresh policy, so a
@@ -82,42 +79,15 @@ class HaloExchanger:
         self,
         comm: SimComm,
         subdomains: list[Subdomain],
-        topology: Topology | None = None,
+        topology: Topology,
         *,
-        periodic_x: bool | None = None,
-        periodic_y: bool | None = None,
         retry: RetryPolicy | None = None,
     ):
-        if topology is None:
-            if periodic_x is None or periodic_y is None:
-                raise TypeError(
-                    "HaloExchanger needs a Topology (or both legacy "
-                    "periodic_x/periodic_y flags)")
-            warnings.warn(
-                "passing periodic_x=/periodic_y= to HaloExchanger is "
-                "deprecated; build a repro.dist.decomposition.Topology "
-                "(e.g. Topology.from_grid(grid, px, py)) instead",
-                DeprecationWarning, stacklevel=2)
-            topology = Topology(px=subdomains[0].px, py=subdomains[0].py,
-                                periodic_x=bool(periodic_x),
-                                periodic_y=bool(periodic_y))
-        elif periodic_x is not None or periodic_y is not None:
-            raise TypeError("pass either a Topology or the legacy flags, "
-                            "not both")
         self.comm = comm
         self.subs = subdomains
         self.topology = topology
         self.retry = retry or RetryPolicy()
         self.stats = RetryStats()
-
-    # ------------------------------------------------ legacy attributes
-    @property
-    def periodic_x(self) -> bool:
-        return self.topology.periodic_x
-
-    @property
-    def periodic_y(self) -> bool:
-        return self.topology.periodic_y
 
     # ------------------------------------------------------------ public
     def exchange(self, states: list[State], names: list[str] | None) -> None:

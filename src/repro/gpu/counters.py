@@ -31,6 +31,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..perf.counting import FlopCounter
+from ..stencil import (
+    StencilExecutor,
+    declared_bytes_band,
+    declared_flops_band,
+    use_executor,
+)
 from .asuca_kernels import accounting_args, bind_accounting_kernels
 from .spec import Precision
 
@@ -57,12 +63,18 @@ DEFAULT_DRIFT_BAND: tuple[float, float] = (0.2, 5.0)
 BYTES_DRIFT_BAND: tuple[float, float] = (0.25, 64.0)
 
 #: per-kernel overrides of :data:`DEFAULT_DRIFT_BAND` for flops drift
+#: (checked before the stencil declarations)
 DRIFT_BANDS: dict[str, tuple[float, float]] = {}
 
 
 def drift_band(name: str) -> tuple[float, float]:
-    """The (lo, hi) measured/table flops ratio band for one kernel."""
-    return DRIFT_BANDS.get(name, DEFAULT_DRIFT_BAND)
+    """The (lo, hi) measured/table flops ratio band for one kernel:
+    the local override, else the band the kernel's ``@stencil``
+    declaration carries (``flops_band=``), else the default."""
+    band = DRIFT_BANDS.get(name)
+    if band is None:
+        band = declared_flops_band(name)
+    return band if band is not None else DEFAULT_DRIFT_BAND
 
 
 def flops_drift(name: str, measured_pp: float, table_pp: float) -> float | None:
@@ -79,12 +91,25 @@ def flops_drift(name: str, measured_pp: float, table_pp: float) -> float | None:
 
 
 def bytes_drift(name: str, measured_pp: float, table_pp: float) -> float | None:
-    """Measured/table bytes ratio when out of band, else None (in band)."""
+    """Measured/table bytes ratio when out of band, else None (in band).
+    A ``bytes_band=`` on the kernel's ``@stencil`` declaration tightens
+    the default band."""
     if table_pp <= 0:
         return None
     ratio = measured_pp / table_pp
-    lo, hi = BYTES_DRIFT_BAND
+    band = declared_bytes_band(name)
+    lo, hi = band if band is not None else BYTES_DRIFT_BAND
     return None if lo <= ratio <= hi else ratio
+
+
+_REFERENCE_EXECUTOR: StencilExecutor | None = None
+
+
+def _reference_executor() -> StencilExecutor:
+    global _REFERENCE_EXECUTOR
+    if _REFERENCE_EXECUTOR is None:
+        _REFERENCE_EXECUTOR = StencilExecutor("reference")
+    return _REFERENCE_EXECUTOR
 
 
 @dataclass
@@ -169,8 +194,12 @@ class CountingHook:
         call_args, points = spec
         c = self.counter
         f0, r0, w0 = c.flops, c.elements_read, c.elements_written
-        kernel.fn(*(c.wrap(a) if isinstance(a, np.ndarray) else a
-                    for a in call_args))
+        # always measure the *reference* implementation: counts are shape
+        # functions of the kernel, and the fused backend's pooled plain-
+        # ndarray temporaries would escape the CountingArray accounting
+        with use_executor(_reference_executor()):
+            kernel.fn(*(c.wrap(a) if isinstance(a, np.ndarray) else a
+                        for a in call_args))
         pp = {
             "flops": (c.flops - f0) / points,
             "reads": (c.elements_read - r0) / points,

@@ -32,6 +32,7 @@ import numpy as np
 from ..gpu.coalescing import ArrayOrder
 from ..gpu.kernel import Kernel, KernelCostModel, LaunchConfig
 from ..gpu.spec import DeviceSpec, Precision, TESLA_S1070, OPTERON_CORE
+from ..stencil import table_costs
 
 __all__ = [
     "ASUCA_KERNELS",
@@ -53,6 +54,16 @@ DEFAULT_NS = 12
 _STENCIL = LaunchConfig(block=(64, 4, 1), march_axis="y")
 _COLUMN = LaunchConfig(block=(64, 4, 1), march_axis="z")
 
+#: per-point (flops, reads, writes) derived from the stencil declarations
+#: in ``core/``/``physics/`` — the @stencil decorators are the source of
+#: truth for every table entry a NumPy kernel exists for
+_DECLARED = table_costs()
+
+
+def _declared_cost(name: str) -> KernelCostModel:
+    f, r, w = _DECLARED[name]
+    return KernelCostModel(f, r, w)
+
 #: the ASUCA kernel cost table (per-point flops / element reads / writes).
 #: Names marked (1)-(5) are the paper's Fig. 5 kernels.
 ASUCA_KERNELS: dict[str, Kernel] = {
@@ -72,19 +83,19 @@ ASUCA_KERNELS: dict[str, Kernel] = {
     # stencils in 3 directions; shared-memory tiling keeps effective global
     # reads low (Sec. IV-A-2)
     "advection": Kernel(
-        "advection", KernelCostModel(80.0, 9.0, 1.0), launch_config=_STENCIL,
+        "advection", _declared_cost("advection"), launch_config=_STENCIL,
         tag="long",
     ),
     # (4) 1-D Helmholtz-like elliptic equation: tridiagonal assembly+solve
     "helmholtz": Kernel(
-        "helmholtz", KernelCostModel(40.0, 7.0, 2.0), launch_config=_COLUMN,
+        "helmholtz", _declared_cost("helmholtz"), launch_config=_COLUMN,
         tag="short",
     ),
     # (5) warm rain: transcendental-heavy, few memory accesses ("contains
     # mathematical functions, such as log, exp, with few memory accesses";
     # "called once per time step and spends only 1.0% GPU time")
     "warm_rain": Kernel(
-        "warm_rain", KernelCostModel(400.0, 5.0, 3.0), launch_config=_STENCIL,
+        "warm_rain", _declared_cost("warm_rain"), launch_config=_STENCIL,
         tag="physics",
     ),
     # remaining kernels of the execution flow
@@ -105,7 +116,7 @@ ASUCA_KERNELS: dict[str, Kernel] = {
         tag="short",
     ),
     "eos_pressure": Kernel(
-        "eos_pressure", KernelCostModel(20.0, 2.0, 1.0), launch_config=_STENCIL,
+        "eos_pressure", _declared_cost("eos_pressure"), launch_config=_STENCIL,
         tag="short",
     ),
     "coriolis": Kernel(
@@ -116,7 +127,7 @@ ASUCA_KERNELS: dict[str, Kernel] = {
         tag="copy",
     ),
     "boundary_ops": Kernel(
-        "boundary_ops", KernelCostModel(1.0, 1.0, 1.0), launch_config=_STENCIL,
+        "boundary_ops", _declared_cost("boundary_ops"), launch_config=_STENCIL,
         tag="boundary",
     ),
     # the cold-rain (ice) extension — the paper's future work: "typical

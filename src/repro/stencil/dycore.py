@@ -1,0 +1,414 @@
+"""Fused implementations of the declared dycore stencils.
+
+Every function here is the pooled-buffer twin of a reference kernel in
+``repro.core`` — same arithmetic operations, same operation order, same
+operand order, so the results are **bit-identical** (IEEE-754 float ops
+are deterministic; only the memory management differs).  The speedup
+comes from three mechanical changes:
+
+* temporaries come from the executor's :class:`~repro.stencil.pool.
+  BufferPool` instead of the allocator (the reference advection kernel
+  alone allocates ~20 full-field temporaries per call, 21 calls per RK3
+  step);
+* elementwise work lands in those buffers via ``out=`` ufunc calls;
+* slice plans are applied directly to the target windows instead of
+  materializing full-extent intermediates and slicing afterwards
+  (slicing commutes with elementwise ops, so the selected bits are the
+  same ones the reference computes).
+
+An implementation returns ``NotImplemented`` for argument combinations
+it does not cover (non-Koren limiters, mixed dtypes, sub-4-level
+columns) and the executor falls back to the reference — correctness
+never depends on coverage.  tests/stencil/test_fused_identity.py holds
+the whole layer to ``np.array_equal`` on the tier-1 workloads.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as c
+from ..core.limiter import koren
+from .spec import register_fused
+
+__all__: list[str] = []
+
+
+# ------------------------------------------------------------------ koren
+def _koren_upwind(mem, base, g1, g2, shape, dt_):
+    """``base + 0.5 * koren(g1, g2)`` with pooled buffers.
+
+    Mirrors :func:`repro.core.limiter.koren` op for op; ``g1``/``g2``
+    are consumed (they are caller-leased scratch).
+    """
+    s = np.sign(g1, out=mem.take(shape, dt_))
+    g1s = np.abs(g1, out=g1)
+    g2s = np.multiply(g2, s, out=g2)
+    t2 = np.multiply(2.0, g2s, out=mem.take(shape, dt_))
+    t3 = np.add(g1s, t2, out=mem.take(shape, dt_))
+    np.divide(t3, 3.0, out=t3)
+    t = np.minimum(t2, t3, out=t2)
+    g1d = np.multiply(2.0, g1s, out=g1s)
+    np.minimum(t, g1d, out=t)
+    np.maximum(0.0, t, out=t)
+    lim = np.multiply(s, t, out=t)
+    np.multiply(0.5, lim, out=lim)
+    return np.add(base, lim, out=lim)
+
+
+def _face_values(mem, p, f, shape, dt_):
+    """Limited (Koren) face values in the moved-axis frame: the
+    ``np.where(f >= 0, up_pos, up_neg)`` select of the reference."""
+    a, b, cc, d = p[:-3], p[1:-2], p[2:-1], p[3:]
+    g1 = np.subtract(b, a, out=mem.take(shape, dt_))
+    g2 = np.subtract(cc, b, out=mem.take(shape, dt_))
+    up_pos = _koren_upwind(mem, b, g1, g2, shape, dt_)
+    g1n = np.subtract(cc, d, out=g1)
+    g2n = np.subtract(b, cc, out=g2)
+    up_neg = _koren_upwind(mem, cc, g1n, g2n, shape, dt_)
+    cond = np.greater_equal(f, 0.0, out=mem.take(shape, np.bool_))
+    face = up_neg
+    np.copyto(face, up_pos, where=cond)
+    return face
+
+
+def _lff(mem, phi, flux, axis):
+    """Pooled :func:`repro.core.advection.limited_face_flux` whose result
+    lives in a lease-scoped buffer (moved back to ``axis``)."""
+    p = np.moveaxis(phi, axis, 0)
+    f = np.moveaxis(flux, axis, 0)[1:-1]
+    shape, dt_ = f.shape, p.dtype
+    face = _face_values(mem, p, f, shape, dt_)
+    res = np.multiply(f, face, out=mem.take(shape, dt_))
+    return np.moveaxis(res, 0, axis)
+
+
+@register_fused("limited_face_flux")
+def _fused_limited_face_flux(pool, phi, flux, axis, limiter=koren):
+    if limiter is not koren or phi.dtype != flux.dtype:
+        return NotImplemented
+    p = np.moveaxis(phi, axis, 0)
+    f = np.moveaxis(flux, axis, 0)[1:-1]
+    shape, dt_ = f.shape, p.dtype
+    with pool.lease() as mem:
+        face = _face_values(mem, p, f, shape, dt_)
+        # the result escapes the kernel: allocate it, never lease it
+        res = np.multiply(f, face, out=np.empty(shape, dt_))
+    return np.moveaxis(res, 0, axis)
+
+
+# -------------------------------------------------------- vertical pieces
+def _sub_divz(mem, ov, phi, fz, dz_c, dt_):
+    """``ov -= flux_divergence_z(phi, fz, dz_c)`` (the ``nz >= 4`` branch
+    of the reference, with the concatenate/diff collapsed into direct
+    subtractions on the three face ranges)."""
+    nz = phi.shape[-1]
+    ff = mem.take(phi.shape[:-1] + (nz - 1,), dt_)
+    ff[..., 1:-1] = _lff(mem, phi, fz[..., 1:-1], -1)
+    f_lo = fz[..., 1]
+    ff[..., 0] = f_lo * np.where(f_lo >= 0.0, phi[..., 0], phi[..., 1])
+    f_hi = fz[..., nz - 1]
+    ff[..., -1] = f_hi * np.where(f_hi >= 0.0, phi[..., nz - 2],
+                                  phi[..., nz - 1])
+    div = mem.take(phi.shape, dt_)
+    np.subtract(ff[..., 0], fz[..., 0], out=div[..., 0])
+    np.subtract(ff[..., 1:], ff[..., :-1], out=div[..., 1:-1])
+    np.subtract(fz[..., -1], ff[..., -1], out=div[..., -1])
+    np.divide(div, dz_c[None, None, :], out=div)
+    np.subtract(ov, div, out=ov)
+
+
+def _advect_guard(limiter, grid, *fields) -> bool:
+    if limiter is not koren or grid.nz < 4:
+        return False
+    dt_ = fields[0].dtype
+    return all(f.dtype == dt_ for f in fields)
+
+
+# ------------------------------------------------------------- advection
+@register_fused("advect_scalar")
+def _fused_advect_scalar(pool, phi, fx, fy, fz, grid, limiter=koren):
+    if not _advect_guard(limiter, grid, phi, fx, fy, fz):
+        return NotImplemented
+    dt_ = phi.dtype
+    out = np.zeros(grid.shape_c, dtype=dt_)
+    h, nx, ny, nz = grid.halo, grid.nx, grid.ny, grid.nz
+    sx, sy = grid.isl
+    ov = out[sx, sy]
+    with pool.lease() as mem:
+        ff = _lff(mem, phi, fx[1:-1], 0)
+        d = np.subtract(ff[h - 1 : h - 1 + nx, sy], ff[h - 2 : h - 2 + nx, sy],
+                        out=mem.take((nx, ny, nz), dt_))
+        np.divide(d, grid.dx, out=d)
+        np.negative(d, out=ov)
+
+        ffy = _lff(mem, phi, fy[:, 1:-1], 1)
+        d2 = np.subtract(ffy[sx, h - 1 : h - 1 + ny],
+                         ffy[sx, h - 2 : h - 2 + ny], out=d)
+        np.divide(d2, grid.dy, out=d2)
+        np.subtract(ov, d2, out=ov)
+
+        _sub_divz(mem, ov, phi[sx, sy], fz[sx, sy], grid.dz_c, dt_)
+    return out
+
+
+@register_fused("advect_u")
+def _fused_advect_u(pool, u, fx, fy, fz, grid, limiter=koren):
+    if not _advect_guard(limiter, grid, u, fx, fy, fz):
+        return NotImplemented
+    dt_ = u.dtype
+    out = np.zeros(grid.shape_u, dtype=dt_)
+    h, nx, ny, nz = grid.halo, grid.nx, grid.ny, grid.nz
+    slu_x, slu_y = grid.isl_u
+    ov = out[slu_x, slu_y]
+    with pool.lease() as mem:
+        fxc = np.add(fx[1:], fx[:-1], out=mem.take(fx[1:].shape, dt_))
+        np.multiply(0.5, fxc, out=fxc)
+        ff = _lff(mem, u, fxc, 0)
+        d = np.subtract(ff[h - 1 : h + nx, slu_y],
+                        ff[h - 2 : h + nx - 1, slu_y],
+                        out=mem.take(ov.shape, dt_))
+        np.divide(d, grid.dx, out=d)
+        np.negative(d, out=ov)
+
+        fyc = np.add(fy[1:], fy[:-1], out=mem.take(fy[1:].shape, dt_))
+        np.multiply(0.5, fyc, out=fyc)
+        ffy = _lff(mem, u[1:-1], fyc[:, 1:-1], 1)
+        d2 = np.subtract(ffy[h - 1 : h + nx, h - 1 : h + ny - 1],
+                         ffy[h - 1 : h + nx, h - 2 : h + ny - 2], out=d)
+        np.divide(d2, grid.dy, out=d2)
+        np.subtract(ov, d2, out=ov)
+
+        fzu = mem.take((grid.nxh + 1, grid.nyh, nz + 1), dt_)
+        np.add(fz[1:], fz[:-1], out=fzu[1:-1])
+        np.multiply(0.5, fzu[1:-1], out=fzu[1:-1])
+        fzu[0] = fz[0]
+        fzu[-1] = fz[-1]
+        _sub_divz(mem, ov, u[slu_x, slu_y], fzu[slu_x, slu_y], grid.dz_c, dt_)
+    return out
+
+
+@register_fused("advect_v")
+def _fused_advect_v(pool, v, fx, fy, fz, grid, limiter=koren):
+    if not _advect_guard(limiter, grid, v, fx, fy, fz):
+        return NotImplemented
+    dt_ = v.dtype
+    out = np.zeros(grid.shape_v, dtype=dt_)
+    h, nx, ny, nz = grid.halo, grid.nx, grid.ny, grid.nz
+    slv_x, slv_y = grid.isl_v
+    ov = out[slv_x, slv_y]
+    with pool.lease() as mem:
+        fyc = np.add(fy[:, 1:], fy[:, :-1], out=mem.take(fy[:, 1:].shape, dt_))
+        np.multiply(0.5, fyc, out=fyc)
+        ff = _lff(mem, v, fyc, 1)
+        d = np.subtract(ff[slv_x, h - 1 : h + ny],
+                        ff[slv_x, h - 2 : h + ny - 1],
+                        out=mem.take(ov.shape, dt_))
+        np.divide(d, grid.dy, out=d)
+        np.negative(d, out=ov)
+
+        fxc = np.add(fx[:, 1:], fx[:, :-1], out=mem.take(fx[:, 1:].shape, dt_))
+        np.multiply(0.5, fxc, out=fxc)
+        ffx = _lff(mem, v[:, 1:-1], fxc[1:-1], 0)
+        d2 = np.subtract(ffx[h - 1 : h + nx - 1, h - 1 : h + ny],
+                         ffx[h - 2 : h + nx - 2, h - 1 : h + ny], out=d)
+        np.divide(d2, grid.dx, out=d2)
+        np.subtract(ov, d2, out=ov)
+
+        fzv = mem.take((grid.nxh, grid.nyh + 1, nz + 1), dt_)
+        np.add(fz[:, 1:], fz[:, :-1], out=fzv[:, 1:-1])
+        np.multiply(0.5, fzv[:, 1:-1], out=fzv[:, 1:-1])
+        fzv[:, 0] = fz[:, 0]
+        fzv[:, -1] = fz[:, -1]
+        _sub_divz(mem, ov, v[slv_x, slv_y], fzv[slv_x, slv_y], grid.dz_c, dt_)
+    return out
+
+
+@register_fused("advect_w")
+def _fused_advect_w(pool, w, fx, fy, fz, grid, limiter=koren):
+    if not _advect_guard(limiter, grid, w, fx, fy, fz):
+        return NotImplemented
+    dt_ = w.dtype
+    out = np.zeros(grid.shape_w, dtype=dt_)
+    h, nx, ny, nz = grid.halo, grid.nx, grid.ny, grid.nz
+    sx, sy = grid.isl
+    with pool.lease() as mem:
+        fxw = mem.take((grid.nxh + 1, grid.nyh, nz + 1), dt_)
+        np.add(fx[:, :, 1:], fx[:, :, :-1], out=fxw[:, :, 1:-1])
+        np.multiply(0.5, fxw[:, :, 1:-1], out=fxw[:, :, 1:-1])
+        fxw[:, :, 0] = fx[:, :, 0]
+        fxw[:, :, -1] = fx[:, :, -1]
+        ffx = _lff(mem, w, fxw[1:-1], 0)
+        ov = out[sx, sy]
+        d = np.subtract(ffx[h - 1 : h - 1 + nx, sy],
+                        ffx[h - 2 : h - 2 + nx, sy],
+                        out=mem.take((nx, ny, nz + 1), dt_))
+        np.divide(d, grid.dx, out=d)
+        np.negative(d, out=ov)
+
+        fyw = mem.take((grid.nxh, grid.nyh + 1, nz + 1), dt_)
+        np.add(fy[:, :, 1:], fy[:, :, :-1], out=fyw[:, :, 1:-1])
+        np.multiply(0.5, fyw[:, :, 1:-1], out=fyw[:, :, 1:-1])
+        fyw[:, :, 0] = fy[:, :, 0]
+        fyw[:, :, -1] = fy[:, :, -1]
+        ffy = _lff(mem, w, fyw[:, 1:-1], 1)
+        d2 = np.subtract(ffy[sx, h - 1 : h - 1 + ny],
+                         ffy[sx, h - 2 : h - 2 + ny], out=d)
+        np.divide(d2, grid.dy, out=d2)
+        np.subtract(ov, d2, out=ov)
+
+        fzc = np.add(fz[..., 1:], fz[..., :-1],
+                     out=mem.take(fz[..., 1:].shape, dt_))
+        np.multiply(0.5, fzc, out=fzc)
+        wi = w[sx, sy]
+        fzi = fzc[sx, sy]
+        # nz >= 4 guarantees the wide-stencil branch (nz + 1 >= 4)
+        ffz = mem.take(fzi.shape, dt_)
+        ffz[..., 1:-1] = _lff(mem, wi, fzi, -1)
+        ffz[..., 0] = fzi[..., 0] * np.where(fzi[..., 0] >= 0.0,
+                                             wi[..., 0], wi[..., 1])
+        ffz[..., -1] = fzi[..., -1] * np.where(fzi[..., -1] >= 0.0,
+                                               wi[..., -2], wi[..., -1])
+        d3 = np.subtract(ffz[..., 1:], ffz[..., :-1],
+                         out=mem.take((nx, ny, nz - 1), dt_))
+        np.divide(d3, grid.dz_f[None, None, 1:-1], out=d3)
+        np.subtract(ov[..., 1:-1], d3, out=ov[..., 1:-1])
+        ov[..., 0] = 0.0
+        ov[..., nz] = 0.0
+    return out
+
+
+# ------------------------------------------------------------- diffusion
+def _lap_into(mem, dest, phi, sx, sy, dx, dy):
+    """``dest = _lap_on(phi, sx, sy, dx, dy)`` with pooled temporaries
+    (same ``(A - 2C + B)/dx^2 + (E - 2C + F)/dy^2`` evaluation order)."""
+    x0, x1 = sx.start, sx.stop
+    y0, y1 = sy.start, sy.stop
+    shape, dt_ = phi[sx, sy].shape, phi.dtype
+    c2 = np.multiply(2.0, phi[sx, sy], out=mem.take(shape, dt_))
+    tx = np.subtract(phi[x0 + 1 : x1 + 1, sy], c2, out=mem.take(shape, dt_))
+    np.add(tx, phi[x0 - 1 : x1 - 1, sy], out=tx)
+    np.divide(tx, dx ** 2, out=tx)
+    ty = np.subtract(phi[sx, y0 + 1 : y1 + 1], c2, out=c2)
+    np.add(ty, phi[sx, y0 - 1 : y1 - 1], out=ty)
+    np.divide(ty, dy ** 2, out=ty)
+    np.add(tx, ty, out=dest)
+
+
+def _fused_hlap(pool, phi, grid, sx, sy):
+    out = np.zeros_like(phi)
+    with pool.lease() as mem:
+        _lap_into(mem, out[sx, sy], phi, sx, sy, grid.dx, grid.dy)
+    return out
+
+
+@register_fused("horizontal_laplacian_c")
+def _fused_hlap_c(pool, phi, grid):
+    sx, sy = grid.isl
+    return _fused_hlap(pool, phi, grid, sx, sy)
+
+
+@register_fused("horizontal_laplacian_u")
+def _fused_hlap_u(pool, u, grid):
+    sx, sy = grid.isl_u
+    return _fused_hlap(pool, u, grid, sx, sy)
+
+
+@register_fused("horizontal_laplacian_v")
+def _fused_hlap_v(pool, v, grid):
+    sx, sy = grid.isl_v
+    return _fused_hlap(pool, v, grid, sx, sy)
+
+
+@register_fused("horizontal_laplacian_w")
+def _fused_hlap_w(pool, w, grid):
+    sx, sy = grid.isl
+    return _fused_hlap(pool, w, grid, sx, sy)
+
+
+@register_fused("hyperdiffusion_c")
+def _fused_hyperdiffusion_c(pool, phi, grid):
+    h = grid.halo
+    sx, sy = grid.isl
+    sx1 = slice(h - 1, h + grid.nx + 1)
+    sy1 = slice(h - 1, h + grid.ny + 1)
+    out = np.zeros_like(phi)
+    with pool.lease() as mem:
+        # the reference's first full-interior Laplacian is dead code (the
+        # ring recomputes the interior); only the ring's values are read
+        # by the outer Laplacian, so the lease buffer needs no zeroing
+        ring = mem.take(phi.shape, phi.dtype)
+        _lap_into(mem, ring[sx1, sy1], phi, sx1, sy1, grid.dx, grid.dy)
+        _lap_into(mem, out[sx, sy], ring, sx, sy, grid.dx, grid.dy)
+        np.negative(out[sx, sy], out=out[sx, sy])
+    return out
+
+
+@register_fused("vertical_diffusion_c")
+def _fused_vertical_diffusion_c(pool, phi, grid, kv):
+    if phi.dtype != np.float64:
+        return NotImplemented
+    kv_f = np.broadcast_to(np.asarray(kv, dtype=np.float64), (grid.nz + 1,))
+    jac = grid.jac[:, :, None]
+    with pool.lease() as mem:
+        dzf = np.multiply(grid.dz_f[None, None, :], jac,
+                          out=mem.take(grid.shape_w, np.float64))
+        flux = mem.take(grid.shape_w, np.float64)
+        flux[:, :, 0] = 0.0
+        flux[:, :, -1] = 0.0
+        t = np.subtract(phi[:, :, 1:], phi[:, :, :-1],
+                        out=mem.take(phi[:, :, 1:].shape, np.float64))
+        np.multiply(kv_f[None, None, 1:-1], t, out=t)
+        np.divide(t, dzf[:, :, 1:-1], out=flux[:, :, 1:-1])
+        dzc = np.multiply(grid.dz_c[None, None, :], jac,
+                          out=mem.take(grid.shape_c, np.float64))
+        res = np.subtract(flux[:, :, 1:], flux[:, :, :-1],
+                          out=np.empty(grid.shape_c, np.float64))
+        np.divide(res, dzc, out=res)
+    return res
+
+
+# ------------------------------------------------------ pressure / solver
+@register_fused("eos_pressure")
+def _fused_eos_pressure(pool, rhotheta_hat, grid):
+    if rhotheta_hat.dtype != np.float64:
+        return NotImplemented
+    with pool.lease() as mem:
+        t = np.divide(rhotheta_hat, grid.jac[:, :, None],
+                      out=mem.take(rhotheta_hat.shape, np.float64))
+        np.multiply(c.RD, t, out=t)
+        np.divide(t, c.P0, out=t)
+        np.power(t, c.CP / c.CV, out=t)
+        res = np.multiply(c.P0, t, out=np.empty(rhotheta_hat.shape,
+                                                np.float64))
+    return res
+
+
+@register_fused("helmholtz_solve")
+def _fused_helmholtz_solve(pool, op, rhs_interior):
+    sub, diag, sup = op.sub, op.diag, op.sup
+    rhs = rhs_interior
+    if not (rhs.dtype == sub.dtype == diag.dtype == sup.dtype):
+        return NotImplemented
+    n = rhs.shape[-1]
+    w = np.zeros((rhs.shape[0], rhs.shape[1], op.grid.nz + 1),
+                 dtype=rhs.dtype)
+    x = w[:, :, 1:-1]
+    with pool.lease() as mem:
+        cp = mem.take(rhs.shape, rhs.dtype)
+        dp = mem.take(rhs.shape, rhs.dtype)
+        denom = mem.take(rhs.shape[:-1], rhs.dtype)
+        t = mem.take(rhs.shape[:-1], rhs.dtype)
+        np.divide(sup[..., 0], diag[..., 0], out=cp[..., 0])
+        np.divide(rhs[..., 0], diag[..., 0], out=dp[..., 0])
+        for k in range(1, n):
+            np.multiply(sub[..., k], cp[..., k - 1], out=denom)
+            np.subtract(diag[..., k], denom, out=denom)
+            np.divide(sup[..., k], denom, out=cp[..., k])
+            np.multiply(sub[..., k], dp[..., k - 1], out=t)
+            np.subtract(rhs[..., k], t, out=t)
+            np.divide(t, denom, out=dp[..., k])
+        x[..., -1] = dp[..., -1]
+        for k in range(n - 2, -1, -1):
+            np.multiply(cp[..., k], x[..., k + 1], out=t)
+            np.subtract(dp[..., k], t, out=x[..., k])
+    return w

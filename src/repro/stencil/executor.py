@@ -1,0 +1,167 @@
+"""Stencil execution backends and the active-executor context.
+
+Three backends, selected by :class:`~repro.api.RunSpec`\\ 's
+``stencil_backend`` (or ``repro run --stencil-backend``, or the
+``REPRO_STENCIL_BACKEND`` environment variable for whole-suite runs):
+
+* ``reference`` — call the decorated NumPy kernel directly.  The
+  default; byte-for-byte the pre-stencil-layer behavior.
+* ``fused`` — route through the registered fused implementation:
+  pooled temporaries, ``out=`` ufuncs, precompiled slice plans.  The
+  arithmetic and its order are untouched, so results are bit-identical
+  to the reference (asserted on the tier-1 workloads), but the
+  allocator traffic collapses — the wall-clock win lands in
+  ``BENCH_stencil_fusion.json``.
+* ``numba`` — like ``fused`` but preferring registered Numba kernels.
+  Requires the optional ``numba`` package; constructing the executor
+  without it raises immediately (the container image does not bundle
+  numba, so this backend is opt-in by environment).
+
+Backend choice never changes what a run computes; accordingly
+``RunSpec.spec_hash()`` ignores it and the serve-layer result cache
+returns hits across backends.
+"""
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from collections import Counter
+from typing import Any, Dict
+
+from .pool import BufferPool
+from .spec import FUSED_IMPLS, NUMBA_IMPLS, StencilFunction
+
+__all__ = [
+    "BACKENDS",
+    "StencilExecutor",
+    "active_executor",
+    "use_executor",
+    "default_backend",
+    "numba_available",
+]
+
+BACKENDS = ("reference", "fused", "numba")
+
+#: environment override of the default backend (used by the CI stencil
+#: job to run the whole tier-1 suite fused)
+BACKEND_ENV = "REPRO_STENCIL_BACKEND"
+
+
+def numba_available() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def default_backend() -> str:
+    """The process-default backend: :data:`BACKEND_ENV` or 'reference'."""
+    backend = os.environ.get(BACKEND_ENV, "reference").strip() or "reference"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV}={backend!r}: unknown stencil backend; choose "
+            f"one of {BACKENDS}")
+    return backend
+
+
+class StencilExecutor:
+    """Dispatches :class:`~repro.stencil.spec.StencilFunction` calls to
+    one backend, owning the buffer pool and per-kernel call statistics."""
+
+    def __init__(self, backend: str = "reference"):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown stencil backend {backend!r}; choose one of "
+                f"{BACKENDS}")
+        if backend == "numba" and not numba_available():
+            raise RuntimeError(
+                "stencil backend 'numba' needs the optional numba package "
+                "(not installed in this environment); use 'fused' — it is "
+                "bit-identical and needs only NumPy")
+        if backend != "reference":
+            # make sure the fused implementations are registered; without
+            # this every dispatch would silently fall back to the reference
+            from . import dycore  # noqa: F401
+        self.backend = backend
+        self.pool = BufferPool()
+        #: spec name -> dispatch count
+        self.calls: Counter = Counter()
+        #: dispatches served by a fused/numba implementation
+        self.accelerated = 0
+        #: dispatches that fell back to the reference implementation
+        self.fallbacks = 0
+
+    # ---------------------------------------------------------- dispatch
+    def call(self, sf: StencilFunction, args: tuple, kwargs: dict) -> Any:
+        self.calls[sf.spec.name] += 1
+        if self.backend != "reference":
+            impl = None
+            if self.backend == "numba":
+                impl = NUMBA_IMPLS.get(sf.spec.name)
+                if impl is not None:
+                    out = impl(*args, **kwargs)
+                    if out is not NotImplemented:
+                        self.accelerated += 1
+                        return out
+                    impl = None
+            if impl is None:
+                impl = FUSED_IMPLS.get(sf.spec.name)
+            if impl is not None:
+                out = impl(self.pool, *args, **kwargs)
+                if out is not NotImplemented:
+                    self.accelerated += 1
+                    return out
+            self.fallbacks += 1
+        return sf.reference(*args, **kwargs)
+
+    # --------------------------------------------------------- reporting
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "dispatches": int(sum(self.calls.values())),
+            "accelerated": self.accelerated,
+            "fallbacks": self.fallbacks,
+            **self.pool.stats(),
+        }
+
+    def report(self) -> str:
+        s = self.stats()
+        return (f"stencil[{self.backend}]: {s['dispatches']} dispatches "
+                f"({s['accelerated']} fused, {s['fallbacks']} reference), "
+                f"pool reuse {self.pool.reuses}/"
+                f"{self.pool.reuses + self.pool.allocations} "
+                f"({self.pool.reuse_fraction:.0%})")
+
+
+_ACTIVE: contextvars.ContextVar["StencilExecutor | None"] = \
+    contextvars.ContextVar("repro_stencil_executor", default=None)
+
+_DEFAULT: "StencilExecutor | None" = None
+
+
+def _default_executor() -> StencilExecutor:
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT.backend != default_backend():
+        _DEFAULT = StencilExecutor(default_backend())
+    return _DEFAULT
+
+
+def active_executor() -> StencilExecutor:
+    """The executor stencil dispatch goes through right now: the
+    innermost :func:`use_executor` context, else the process default
+    (``reference`` unless :data:`BACKEND_ENV` says otherwise)."""
+    ex = _ACTIVE.get()
+    return ex if ex is not None else _default_executor()
+
+
+@contextlib.contextmanager
+def use_executor(executor: StencilExecutor):
+    """Route stencil dispatch through ``executor`` inside the block
+    (the :class:`~repro.api.Experiment` enters this around stepping)."""
+    token = _ACTIVE.set(executor)
+    try:
+        yield executor
+    finally:
+        _ACTIVE.reset(token)

@@ -1,5 +1,4 @@
 """The RunSpec/Experiment facade, crash recovery, and the CLI surface."""
-import argparse
 import warnings
 
 import numpy as np
@@ -140,28 +139,31 @@ class TestExperiment:
 
 
 # ------------------------------------------------------------- deprecation
-class TestDeprecationShims:
-    def test_cli_make_case_warns(self):
-        from repro.cli import _make_case
+class TestDeprecatedShimsRemoved:
+    def test_cli_make_case_shim_is_gone(self):
+        """The old CLI case-construction shim was removed; the single
+        implementation is repro.api.make_case."""
+        import repro.cli as cli
 
-        args = argparse.Namespace(workload="warm-bubble", nx=12, ny=12,
-                                  nz=10, dt=None)
-        with pytest.warns(DeprecationWarning, match="make_case"):
-            case = _make_case(args)
+        assert not hasattr(cli, "_make_case")
+        from repro.api import make_case
+
+        case = make_case("warm-bubble", nx=12, ny=12, nz=10)
         assert case.grid.nx == 12
 
-    def test_halo_exchanger_legacy_kwargs_warn(self):
+    def test_halo_exchanger_rejects_legacy_kwargs(self):
         from repro.core.grid import make_grid
-        from repro.dist.decomposition import decompose
+        from repro.dist.decomposition import Topology, decompose
         from repro.dist.halo import HaloExchanger
         from repro.dist.mpi_sim import SimComm
 
         g = make_grid(nx=8, ny=8, nz=4, dx=500.0, dy=500.0, ztop=4000.0)
         subs = decompose(8, 8, 2, 2, min_cells=g.halo)
-        with pytest.warns(DeprecationWarning, match="Topology"):
-            ex = HaloExchanger(SimComm(4), subs, periodic_x=True,
-                               periodic_y=False)
-        assert ex.topology.periodic_x and not ex.topology.periodic_y
+        with pytest.raises(TypeError):
+            HaloExchanger(SimComm(4), subs, periodic_x=True,
+                          periodic_y=False)
+        ex = HaloExchanger(SimComm(4), subs, Topology.from_grid(g, 2, 2))
+        assert ex.topology.periodic_x and ex.topology.periodic_y
 
     def test_topology_construction_does_not_warn(self):
         from repro.core.grid import make_grid
