@@ -15,12 +15,21 @@ finding format:
   paper's structural invariants: no PCIe transfers inside the step loop
   and occupancy-valid launch configurations (AST), plus probe-verified
   stencil halo declarations (LINT03 runs each kernel against its
-  ``@stencil`` declaration instead of guessing from slices).
+  ``@stencil`` declaration instead of guessing from slices);
+* **dataflow** (:mod:`repro.analysis.dataflow` over the step graphs of
+  :mod:`repro.analysis.stepgraph`) — whole-program def/use analysis of
+  the model step loop: stale-halo reads per topology axis (LINT04),
+  read-before-first-write (LINT05), dead stores (LINT06),
+  fused/numba-implementation drift from the ``@stencil`` declaration
+  (LINT07), and float64 upcasts in dtype-preserving paths (LINT08),
+  gated by inline allow-comments and the checked-in
+  ``analysis/baseline.json``.
 
-``repro analyze`` (the CLI) runs them all; :func:`repro.analysis.run_all`
-is the library entry point.
+``repro analyze`` (the CLI) runs them all and can export the combined
+report as SARIF 2.1.0 (:mod:`repro.analysis.sarif`);
+:func:`repro.analysis.run_all` is the library entry point.
 """
-from .findings import CODES, Finding, Report
+from .findings import CODES, Finding, Report, codes_table
 from .driver import (
     lint_pass,
     racecheck_overlap_methods,
@@ -28,6 +37,7 @@ from .driver import (
     sanitized_gpu_smoke,
     sanitized_multigpu_smoke,
 )
+from .dataflow import dataflow_pass, graph_findings
 from .lint import lint_paths, lint_stencils
 from .memcheck import MemcheckTracker, memcheck_session
 from .racecheck import (
@@ -36,13 +46,18 @@ from .racecheck import (
     racecheck_device,
     racecheck_ops,
 )
+from .sarif import to_sarif, write_sarif
+from .stepgraph import StepGraph, build_step_graph
 
 __all__ = [
-    "CODES", "Finding", "Report",
+    "CODES", "Finding", "Report", "codes_table",
     "lint_pass", "lint_paths", "lint_stencils",
+    "dataflow_pass", "graph_findings",
+    "StepGraph", "build_step_graph",
     "racecheck_overlap_methods", "run_all",
     "sanitized_gpu_smoke", "sanitized_multigpu_smoke",
     "MemcheckTracker", "memcheck_session",
     "happens_before", "happens_before_clocks",
     "racecheck_device", "racecheck_ops",
+    "to_sarif", "write_sarif",
 ]

@@ -11,6 +11,10 @@ real entry points.
 * :func:`sanitized_multigpu_smoke` — a decomposed run with per-rank
   virtual devices, each rank's timeline racechecked and the rank devices
   memchecked;
+* the whole-program dataflow pass
+  (:func:`repro.analysis.dataflow.dataflow_pass`) — the step graph built
+  from the model loop checked for stale halos, liveness, fusion drift,
+  and precision leaks (LINT04..LINT08);
 * :func:`run_all` — everything above folded into one :class:`Report`.
 
 The smoke helpers accept ``seed=...`` fault seeds so the test suite (and
@@ -22,7 +26,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .findings import Finding, Report
+from .findings import CODES, Finding, Report, stale_suppressions
 from .lint import lint_paths, lint_stencils
 from .memcheck import memcheck_session
 from .racecheck import racecheck_device
@@ -150,14 +154,28 @@ def run_all(
     workload: str = "shear-layer", steps: int = 2,
     px: int = 2, py: int = 2, session=None,
     lint: bool = True, racecheck: bool = True, smoke: bool = True,
+    dataflow: bool = True, baseline: str | Path | None = None,
     seed_hazard: str | None = None,
 ) -> Report:
-    """Every pass, one report — the engine behind ``repro analyze``."""
+    """Every pass, one report — the engine behind ``repro analyze``.
+
+    ``baseline`` forwards to the dataflow pass (None = the checked-in
+    ``analysis/baseline.json``; ``"none"`` disables it).  The report
+    grows a ``notes`` attribute carrying the step-graph walker's
+    conservative-assumption notes.
+    """
+    from .dataflow import dataflow_pass
+
     report = Report()
+    notes: list[str] = []
     if lint:
         root = Path(src_root) if src_root else Path(__file__).parents[1]
         found, suppressed = lint_pass(root)
         report.extend(found, passname="asuca-lint")
+        report.suppressed.extend(suppressed)
+    if dataflow:
+        found, suppressed, notes = dataflow_pass(baseline=baseline)
+        report.extend(found, passname="dataflow")
         report.suppressed.extend(suppressed)
     if racecheck:
         report.extend(racecheck_overlap_methods(seed_hazard=seed_hazard),
@@ -170,6 +188,17 @@ def run_all(
         report.extend(sanitized_multigpu_smoke(workload, px, py, steps,
                                                session=session),
                       passname="multigpu-smoke")
+    if lint or dataflow:
+        # stale allow-comments: only codes whose static pass actually ran
+        # are provably stale
+        ran = {code for code, info in CODES.items()
+               if info.kind == "static"
+               and ((info.passname == "asuca-lint" and lint)
+                    or (info.passname == "dataflow" and dataflow))}
+        root = Path(src_root) if src_root else Path(__file__).parents[1]
+        report.extend(stale_suppressions([root], report, ran),
+                      passname="suppressions")
+    report.notes = notes
     if session is not None:
         report.to_session(session)
     return report

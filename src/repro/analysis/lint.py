@@ -38,7 +38,7 @@ import ast
 from pathlib import Path
 
 from ..gpu.occupancy import GT200_LIMITS, SMLimits, occupancy
-from .findings import Finding
+from .findings import Finding, is_suppressed, origin_suppressed
 
 __all__ = ["lint_paths", "lint_stencils", "declared_halo"]
 
@@ -77,12 +77,6 @@ def _is_allowed_name(name: str) -> bool:
     return any(p in low for p in ALLOW_NAME_PATTERNS)
 
 
-def _suppressed(source_lines: list[str], lineno: int, code: str) -> bool:
-    if 1 <= lineno <= len(source_lines):
-        return f"sanitizer: allow[{code}]" in source_lines[lineno - 1]
-    return False
-
-
 class _ModuleLint:
     def __init__(self, path: Path, display: str, tree: ast.Module,
                  source_lines: list[str], *, limits: SMLimits):
@@ -98,7 +92,7 @@ class _ModuleLint:
 
     # -------------------------------------------------------- helpers
     def _emit(self, finding: Finding) -> None:
-        if _suppressed(self.lines, finding.line or 0, finding.code):
+        if is_suppressed(self.lines, finding.line or 0, finding.code):
             self.suppressed.append(finding)
         else:
             self.findings.append(finding)
@@ -230,14 +224,6 @@ def lint_paths(
 
 
 # -------------------------------------------------------------------- LINT03
-def _origin_suppressed(origin: tuple[str, int]) -> bool:
-    try:
-        lines = Path(origin[0]).read_text().splitlines()
-    except OSError:
-        return False
-    return _suppressed(lines, origin[1], "LINT03")
-
-
 def lint_stencils(
     *, halo: int | None = None, seed: int = 0,
 ) -> tuple[list[Finding], list[Finding]]:
@@ -263,7 +249,7 @@ def lint_stencils(
     suppressed: list[Finding] = []
 
     def emit(finding: Finding, origin: tuple[str, int]) -> None:
-        if _origin_suppressed(origin):
+        if origin_suppressed(origin[0], origin[1], "LINT03"):
             suppressed.append(finding)
         else:
             findings.append(finding)

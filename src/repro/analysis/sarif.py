@@ -1,0 +1,146 @@
+"""SARIF 2.1.0 export of sanitizer reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub, VS Code, ...) ingest,
+so ``repro analyze --sarif out.sarif`` makes every pass's findings show up
+inline on pull requests.  One ``run`` per report:
+
+* ``tool.driver.rules`` mirrors the :data:`~repro.analysis.findings.CODES`
+  registry — every code the sanitizer can emit, whether or not it fired,
+  so rule metadata never drifts from the tool;
+* each finding becomes a ``result`` with ``ruleId``/``level``/``message``;
+  static findings carry a ``physicalLocation`` (repo-relative uri +
+  startLine), dynamic findings a ``logicalLocation`` naming the
+  device/stream/op;
+* suppressed findings are exported too, marked with a SARIF
+  ``suppressions`` entry (``inSource`` for allow-comments, ``external``
+  for baseline entries), so scanners show them as reviewed rather than
+  losing them.
+
+The emitted document is deliberately minimal — only properties in the
+2.1.0 schema — and tests/analysis/test_sarif.py smoke-checks the shape
+without needing a jsonschema dependency.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .findings import CODES, Finding, Report
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: finding severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rules() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": code,
+            "shortDescription": {"text": info.meaning},
+            "properties": {"passname": info.passname, "kind": info.kind},
+        }
+        for code, info in CODES.items()
+    ]
+
+
+def _relative_uri(file: str, root: Path | None) -> str:
+    p = Path(file)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _location(f: Finding, root: Path | None) -> dict[str, Any]:
+    if f.file is not None:
+        region: dict[str, Any] = {}
+        if f.line is not None:
+            region["startLine"] = int(f.line)
+        phys: dict[str, Any] = {
+            "artifactLocation": {"uri": _relative_uri(f.file, root)},
+        }
+        if region:
+            phys["region"] = region
+        return {"physicalLocation": phys}
+    # dynamic finding: no source anchor, name the timeline coordinates
+    return {
+        "logicalLocations": [
+            {"fullyQualifiedName": f.location, "kind": "resource"},
+        ]
+    }
+
+
+def _result(f: Finding, root: Path | None, *,
+            suppression: dict[str, Any] | None = None) -> dict[str, Any]:
+    res: dict[str, Any] = {
+        "ruleId": f.code,
+        "level": _LEVELS.get(f.severity, "warning"),
+        "message": {"text": f.message},
+        "locations": [_location(f, root)],
+    }
+    props: dict[str, Any] = {}
+    if f.occurrences > 1:
+        props["occurrences"] = f.occurrences
+    if f.suggestion:
+        props["suggestion"] = f.suggestion
+    if props:
+        res["properties"] = props
+    if suppression is not None:
+        res["suppressions"] = [suppression]
+    return res
+
+
+def _suppression_kind(f: Finding) -> dict[str, Any]:
+    """Inline allow-comments are ``inSource``; baseline entries (tagged by
+    :func:`~repro.analysis.dataflow.apply_baseline`) are ``external``."""
+    via = getattr(f, "_suppressed_via", "comment")
+    if via == "baseline":
+        return {"kind": "external", "justification": "baseline.json entry"}
+    return {"kind": "inSource", "justification": "sanitizer allow-comment"}
+
+
+def to_sarif(report: Report, *, root: str | Path | None = None) -> dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 document (a plain dict)."""
+    rootp = Path(root) if root is not None else None
+    results = [_result(f, rootp) for f in report.findings]
+    results += [
+        _result(f, rootp, suppression=_suppression_kind(f))
+        for f in report.suppressed
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-sanitizer",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/ANALYSIS.md",
+                        "rules": _rules(),
+                    }
+                },
+                "results": results,
+                "properties": {"passes": report.passes},
+            }
+        ],
+    }
+
+
+def write_sarif(report: Report, path: str | Path, *,
+                root: str | Path | None = None) -> Path:
+    """Serialize ``report`` to ``path`` as SARIF; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(to_sarif(report, root=root), indent=2) + "\n")
+    return out

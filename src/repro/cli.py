@@ -160,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--smoke", action="store_true",
                     help="run the sanitized single-GPU and multi-GPU "
                          "smoke runs (memcheck + racecheck)")
+    an.add_argument("--dataflow", action="store_true",
+                    help="run the whole-program dataflow pass (stale "
+                         "halos, liveness, fusion drift, precision flow) "
+                         "over the model step graphs")
+    an.add_argument("--baseline", type=str, default=None, metavar="FILE",
+                    help="dataflow baseline file (default the checked-in "
+                         "analysis/baseline.json; 'none' disables it)")
+    an.add_argument("--sarif", type=str, default=None, metavar="OUT.sarif",
+                    help="also write the report as SARIF 2.1.0 to "
+                         "OUT.sarif")
+    an.add_argument("--list-codes", action="store_true",
+                    help="print the finding-code registry and exit")
     an.add_argument("--workload", default="shear-layer",
                     choices=["mountain-wave", "warm-bubble", "real-case",
                              "shear-layer"],
@@ -502,14 +514,19 @@ def _cmd_bench(args) -> int:
 # ------------------------------------------------------------------ analyze
 def _cmd_analyze(args) -> int:
     """Drive :func:`repro.analysis.run_all` and gate on its findings."""
-    from .analysis import run_all
+    from .analysis import codes_table, run_all, write_sarif
     from .api import parse_ranks
+
+    if args.list_codes:
+        print(codes_table())
+        return 0
 
     sel_lint = args.lint is not None
     sel_race = args.racecheck
     sel_smoke = args.smoke
-    if not (sel_lint or sel_race or sel_smoke):
-        sel_lint = sel_race = sel_smoke = True
+    sel_flow = args.dataflow
+    if not (sel_lint or sel_race or sel_smoke or sel_flow):
+        sel_lint = sel_race = sel_smoke = sel_flow = True
     px, py = parse_ranks(args.ranks)
 
     session = None
@@ -520,6 +537,7 @@ def _cmd_analyze(args) -> int:
     report = run_all(
         src_root=args.lint,
         lint=sel_lint, racecheck=sel_race, smoke=sel_smoke,
+        dataflow=sel_flow, baseline=args.baseline,
         workload=args.workload, steps=args.steps, px=px, py=py,
         session=session, seed_hazard=args.seed_hazard,
     )
@@ -529,6 +547,14 @@ def _cmd_analyze(args) -> int:
         session.finalize(steps=max(1, args.steps))
         print(f"trace: {write_chrome_trace(session, args.trace)}",
               file=sys.stderr)
+    if args.sarif:
+        from pathlib import Path
+
+        path = write_sarif(report, args.sarif,
+                           root=Path(__file__).resolve().parents[2])
+        print(f"sarif: {path}", file=sys.stderr)
+    for note in report.notes:
+        print(f"note: {note}", file=sys.stderr)
     print(report.as_json() if args.json else report.text())
     return report.exit_status()
 

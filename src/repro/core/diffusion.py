@@ -109,7 +109,10 @@ def hyperdiffusion_c(phi: np.ndarray, grid: Grid) -> np.ndarray:
 
 
 @stencil(reads=("phi", "kv"), writes=("tend_phi",), halo=0,
-         march_axis="z", flops=8, loads=4, stores=1)
+         march_axis="z", flops=8, loads=4, stores=1,
+         # the column solve deliberately runs against float64 grid
+         # metrics and coefficient profile; backends gate on dtype
+         dtype_policy="widen")
 def vertical_diffusion_c(
     phi: np.ndarray, grid: Grid, kv: float | np.ndarray
 ) -> np.ndarray:

@@ -90,14 +90,20 @@ class HaloExchanger:
         self.stats = RetryStats()
 
     # ------------------------------------------------------------ public
-    def exchange(self, states: list[State], names: list[str] | None) -> None:
-        """Refresh halos of the named fields on every rank."""
+    def exchange(self, states: list[State], names: list[str] | None,
+                 axes: tuple[int, ...] = (0, 1)) -> None:
+        """Refresh halos of the named fields on every rank.
+
+        ``axes`` selects which topology axes to exchange (default both).
+        The x axis runs before the y axis — the y-strips then carry
+        freshly-filled x halos, which is what transports corner values
+        to diagonal neighbors in two hops.
+        """
         if names is None:
             names = states[0].prognostic_names()
-        for name in names:
-            self._exchange_axis(states, name, axis=0)
-        for name in names:
-            self._exchange_axis(states, name, axis=1)
+        for axis in sorted(axes):
+            for name in names:
+                self._exchange_axis(states, name, axis=axis)
 
     # ----------------------------------------------------------- helpers
     def _exchange_axis(self, states: list[State], name: str, axis: int) -> None:

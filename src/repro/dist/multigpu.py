@@ -286,9 +286,10 @@ class MultiGpuAsuca:
         return out
 
     # ---------------------------------------------------------------- step
-    def exchange_all(self, states: list[State], names=None) -> None:
+    def exchange_all(self, states: list[State], names=None,
+                     axes: tuple[int, ...] = (0, 1)) -> None:
         with span("halo_exchange", cat="comm"):
-            self.exchanger.exchange(states, names)
+            self.exchanger.exchange(states, names, axes=axes)
 
     def step(self, states: list[State]) -> list[State]:
         """One long step across all ranks, lockstep.

@@ -35,6 +35,7 @@ from .. import constants as c
 from ..core.pressure import eos_pressure, exner
 from ..core.reference import ReferenceState
 from ..core.state import State
+from ..stencil.spec import stencil
 from .saturation import saturation_mixing_ratio
 from .sedimentation import SEDIMENTATION_FLOPS_PER_POINT  # noqa: F401 (re-export pattern)
 
@@ -119,6 +120,12 @@ def _sediment_species(
     return flux[:, :, 0]
 
 
+@stencil(reads=("rho", "rhotheta", "qv", "qc", "qr", "qi", "qs"),
+         writes=("rho", "rhotheta", "qv", "qc", "qr", "qi", "qs",
+                 "precip"),
+         halo=0, flops=300, loads=7, stores=8, stage="physics",
+         # in-place column physics: the probe harness cannot restore it
+         probe=False)
 def cold_rain_step(
     state: State,
     ref: ReferenceState,

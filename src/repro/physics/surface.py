@@ -21,6 +21,7 @@ from .. import constants as c
 from ..core.pressure import eos_pressure, exner
 from ..core.reference import ReferenceState
 from ..core.state import State
+from ..stencil.spec import stencil
 
 __all__ = ["SurfaceConfig", "apply_surface_heating", "apply_newtonian_cooling",
            "diurnal_cycle_flux"]
@@ -42,6 +43,8 @@ def diurnal_cycle_flux(peak_flux: float, t: float, day_length: float = 86400.0) 
     return max(0.0, peak_flux * np.sin(2.0 * np.pi * t / day_length))
 
 
+@stencil(reads=("rho", "rhotheta"), writes=("rhotheta",), halo=0,
+         flops=12, loads=2, stores=1, stage="physics", probe=False)
 def apply_surface_heating(
     state: State, ref: ReferenceState, dt: float, flux_wm2: float
 ) -> None:
@@ -60,6 +63,8 @@ def apply_surface_heating(
     state.rhotheta[sx, sy, 0] += state.rho[sx, sy, 0] * dtheta
 
 
+@stencil(reads=("rhotheta",), writes=("rhotheta",), halo=0,
+         flops=6, loads=1, stores=1, stage="physics", probe=False)
 def apply_newtonian_cooling(
     state: State, ref: ReferenceState, dt: float, tau: float
 ) -> None:

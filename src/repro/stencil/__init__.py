@@ -64,6 +64,8 @@ _DYCORE_MODULES = (
     "repro.core.helmholtz",
     "repro.core.boundary",
     "repro.physics.kessler",
+    "repro.physics.ice",
+    "repro.physics.surface",
 )
 
 

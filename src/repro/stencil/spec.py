@@ -95,6 +95,11 @@ class StencilSpec:
     #: whether the probe-based halo verification covers this spec
     #: (False for in-place halo *writers* and solver-internal kernels)
     probe: bool = True
+    #: ``'preserve'``: outputs keep the input dtype (the paper's
+    #: single-precision design point) and LINT08 flags float64 upcasts in
+    #: the kernel body; ``'widen'``: the kernel legitimately computes in
+    #: float64 (e.g. a solver factorization) and is exempt
+    dtype_policy: str = "preserve"
     #: where the spec was declared (filename, lineno) — lint findings
     #: point here
     origin: Tuple[str, int] | None = None
@@ -107,6 +112,10 @@ class StencilSpec:
         if self.march_axis not in ("x", "y", "z"):
             raise ValueError(
                 f"stencil {self.name!r}: march_axis must be x/y/z")
+        if self.dtype_policy not in ("preserve", "widen"):
+            raise ValueError(
+                f"stencil {self.name!r}: dtype_policy must be "
+                f"'preserve' or 'widen'")
 
     def launch_config(self):
         """The :class:`~repro.gpu.kernel.LaunchConfig` this spec declares
@@ -165,6 +174,7 @@ def stencil(
     flops_band: Tuple[float, float] | None = None,
     bytes_band: Tuple[float, float] | None = None,
     probe: bool = True,
+    dtype_policy: str = "preserve",
 ) -> Callable[[Callable[..., Any]], StencilFunction]:
     """Declare a kernel's shape and register it.
 
@@ -193,6 +203,7 @@ def stencil(
             flops_band=flops_band,
             bytes_band=bytes_band,
             probe=probe,
+            dtype_policy=dtype_policy,
             origin=(frame.filename, frame.lineno),
         )
         if spec.name in REGISTRY:

@@ -1,0 +1,6 @@
+"""Seeded-bug fixtures for the dataflow analyzer.
+
+Each module plants exactly one bug per check (LINT04..LINT08) at a known
+``file:line``; tests/analysis/test_dataflow.py asserts each fires exactly
+once at that location — the analyzer's own regression harness.
+"""

@@ -83,3 +83,44 @@ def test_trace_files_findings_on_device_tracks(tmp_path, capsys):
 def test_bad_seed_value_rejected():
     with pytest.raises(SystemExit):
         main(["analyze", "--seed-hazard", "bogus"])
+
+
+# ------------------------------------------------------- dataflow + SARIF
+def test_list_codes_prints_the_registry(capsys):
+    assert main(["analyze", "--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ("LINT04", "LINT05", "LINT06", "LINT07", "LINT08",
+                 "SUPP01", "RACE01", "MEM01"):
+        assert code in out
+    assert "dataflow" in out
+
+
+def test_dataflow_only_clean_repo_exits_zero(capsys):
+    assert main(["analyze", "--dataflow"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "dataflow" in out
+
+
+def test_dataflow_json_reports_passes_and_notes(capsys):
+    assert main(["analyze", "--dataflow", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert "dataflow" in doc["passes"]
+    assert "suppressions" in doc["passes"]
+    # the walker's conservative assumptions are surfaced, not hidden
+    assert any("opaque" in n for n in doc["notes"])
+
+
+def test_dataflow_sarif_export_is_valid(tmp_path, capsys):
+    out = tmp_path / "analysis.sarif"
+    assert main(["analyze", "--dataflow", "--sarif", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+    assert {"LINT04", "LINT05", "LINT06", "LINT07", "LINT08"} <= rules
+    assert doc["runs"][0]["results"] == []  # clean repo
+
+
+def test_dataflow_disabled_baseline_still_clean(capsys):
+    assert main(["analyze", "--dataflow", "--baseline", "none"]) == 0

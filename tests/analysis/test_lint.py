@@ -182,3 +182,29 @@ def test_repo_stencil_declarations_are_honest():
     findings, suppressed = lint_stencils()
     assert findings == [], "\n".join(f.text() for f in findings)
     assert suppressed == []
+
+
+def test_inline_suppression_covers_lint02(tmp_path):
+    p = _write(tmp_path, "m.py", """
+        from repro.gpu.kernel import LaunchConfig
+        cfg = LaunchConfig(block=(64, 32, 1))  # sanitizer: allow[LINT02] stress fixture
+    """)
+    findings, suppressed = _lint(p)
+    assert findings == []
+    assert [f.code for f in suppressed] == ["LINT02"]
+
+
+def test_inline_suppression_covers_lint03_at_the_origin(tmp_path):
+    """LINT03 anchors at the @stencil declaration (spec.origin) and is
+    suppressed by an allow-comment on that line — the same
+    origin_suppressed contract lint_stencils() emits through."""
+    from repro.analysis.findings import origin_suppressed
+
+    p = _write(tmp_path, "decl.py", """
+        @stencil(reads=("phi",), writes=("out",), halo=1)  # sanitizer: allow[LINT03] probe noise
+        def k(phi, grid):
+            return phi
+    """)
+    assert origin_suppressed(str(p), 2, "LINT03")
+    assert not origin_suppressed(str(p), 3, "LINT03")
+    assert not origin_suppressed(str(p), 2, "LINT02")
