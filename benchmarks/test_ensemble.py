@@ -1,0 +1,84 @@
+"""Ensemble forecasting — perturbed-member gang through the service.
+
+An 8-member vortex ensemble (the operational shape of the
+perturbed-cyclone studies in PAPERS.md) runs as a same-instant gang on a
+4-GPU fleet, folding each member into the online product as it lands.
+Anchors:
+
+* full coverage: every member reduces, and the product is bitwise equal
+  to the offline batch reduction over the standalone member runs;
+* real spread: the seeded perturbations produce nonzero max-wind and
+  track spread (an ensemble with zero spread is a broken ensemble);
+* memory bound holds: the service retains no folded member states.
+
+The deterministic product numbers land in
+``benchmarks/reports/BENCH_ensemble.json`` for the CI ensemble job's
+regression gate (wall-clock keys are gated out with
+``--tolerance '*wall*=ignore'``).
+"""
+import time
+
+import numpy as np
+
+from bench_json import write_bench_json
+from repro.api import Experiment, RunSpec
+from repro.ensemble import EnsembleRunner, EnsembleSpec, OnlineReducer, \
+    member_contribution
+from repro.perf.report import format_table
+
+MEMBERS = 8
+GPUS = 4
+SEED = 2026
+BASE = dict(workload="vortex", steps=2, nx=16, ny=16, nz=8)
+
+
+def _ensemble():
+    return EnsembleSpec(base=RunSpec(**BASE), members=MEMBERS, seed=SEED)
+
+
+def test_ensemble_product(benchmark, emit):
+    t0 = time.perf_counter()
+    runner = EnsembleRunner(_ensemble(), fleet=GPUS)
+    result = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - t0
+    product = result.product
+
+    rows = [[name, st["mean"], st["p10"], st["p50"], st["p90"],
+             st["p90"] - st["p10"]]
+            for name, st in product.scalar_stats.items()]
+    emit(format_table(
+        ["scalar", "mean", "p10", "p50", "p90", "spread (p90-p10)"],
+        rows,
+        title=f"Vortex ensemble — {MEMBERS} members, {GPUS} GPUs, "
+              f"seed {SEED} (coverage {product.coverage:.3f})"))
+
+    write_bench_json("ensemble", {
+        "members": MEMBERS, "gpus": GPUS, "seed": SEED, "base": BASE,
+        "product": product.as_dict(),
+        "service": {k: v for k, v in result.report.as_dict().items()
+                    if k != "jobs"},
+        "wall_s": wall_s,
+    })
+
+    # full coverage, real spread
+    assert product.coverage == 1.0
+    wind = product.scalar_stats["max_wind"]
+    assert wind["p90"] - wind["p10"] > 0.0
+    assert product.field_stats["rhotheta"]["spread"].max() > 0.0
+    assert "track.max_wind" in product.field_stats
+
+    # the online product IS the offline batch reduction, bitwise
+    contributions = [
+        member_contribution(Experiment(spec).prepare().run(), m)
+        for m, spec in enumerate(_ensemble().expand())
+    ]
+    offline = OnlineReducer.batch(contributions, MEMBERS)
+    for name, st in product.field_stats.items():
+        assert np.array_equal(st["mean"], offline.field_stats[name]["mean"])
+        assert np.array_equal(st["spread"],
+                              offline.field_stats[name]["spread"])
+    assert product.scalar_stats == offline.scalar_stats
+
+    # fold-then-release: no member state left behind in the service
+    assert runner.service._computed == {}
+    assert all(j.result is None for j in runner.service.jobs)

@@ -58,6 +58,7 @@ def _workload_factories() -> dict[str, Callable]:
         make_mountain_wave_case,
         make_real_case,
         make_shear_layer_case,
+        make_vortex_case,
         make_warm_bubble_case,
     )
 
@@ -66,11 +67,13 @@ def _workload_factories() -> dict[str, Callable]:
         "warm-bubble": make_warm_bubble_case,
         "real-case": make_real_case,
         "shear-layer": make_shear_layer_case,
+        "vortex": make_vortex_case,
     }
 
 
 #: the workload names a RunSpec accepts
-WORKLOADS = ("mountain-wave", "warm-bubble", "real-case", "shear-layer")
+WORKLOADS = ("mountain-wave", "warm-bubble", "real-case", "shear-layer",
+             "vortex")
 
 
 def make_case(workload: str, **kwargs):
@@ -132,6 +135,13 @@ class RunSpec:
     dt: float | None = None
     #: extra keyword arguments for the workload factory
     workload_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: perturbation seed threaded to the workload factory: every factory
+    #: applies its seeded initial-condition noise when this is set, so an
+    #: ensemble member is reproducible standalone from its expanded spec
+    #: (repro.ensemble).  Semantic: it enters spec_hash, so perturbed
+    #: members cache as distinct entries; the default None is *omitted*
+    #: from the canonical dict, keeping every pre-seed hash stable.
+    seed: int | None = None
     #: 'cpu' (plain AsucaModel), 'gpu' (virtual-GPU runner), 'multigpu'
     #: (decomposed), or 'auto' (multigpu if ranks given, gpu if traced)
     backend: str = "auto"
@@ -236,7 +246,13 @@ class RunSpec:
         for f in dataclasses.fields(spec):
             if f.name in self._NON_SEMANTIC_FIELDS:
                 continue
-            out[f.name] = _canonical_value(getattr(spec, f.name))
+            value = getattr(spec, f.name)
+            if f.name == "seed" and value is None:
+                # an unseeded run computes exactly what it did before the
+                # seed field existed; omitting the default keeps every
+                # historical spec hash (and cached result) valid
+                continue
+            out[f.name] = _canonical_value(value)
         return out
 
     def spec_hash(self) -> str:
@@ -294,6 +310,9 @@ class RunResult:
     halo_bytes: int = 0
     #: stencil executor dispatch/pool stats (StencilExecutor.stats())
     stencil_stats: dict | None = None
+    #: per-step point-product series recorded by the workload case (the
+    #: vortex case's track: time, center, max wind), when it records one
+    series: "dict[str, list] | None" = None
 
     @property
     def spec_hash(self) -> str:
@@ -358,9 +377,13 @@ class Experiment:
         if self._prepared:
             return self
         spec = self.spec
+        wl_kwargs = dict(spec.workload_kwargs)
+        if spec.seed is not None:
+            # the spec-level seed wins over a workload_kwargs seed: the
+            # ensemble layer stamps members here
+            wl_kwargs["seed"] = spec.seed
         self.case = make_case(spec.workload, nx=spec.nx, ny=spec.ny,
-                              nz=spec.nz, dt=spec.dt,
-                              **spec.workload_kwargs)
+                              nz=spec.nz, dt=spec.dt, **wl_kwargs)
         self.model = self.case.model
         self.grid = self.case.grid
         self.state = self.case.state
@@ -612,6 +635,8 @@ class Experiment:
             halo_bytes=comm.stats.bytes_total if comm is not None else 0,
             stencil_stats=(self.executor.stats()
                            if self.executor is not None else None),
+            series=(self.case.series()
+                    if hasattr(self.case, "series") else None),
         )
 
     @property

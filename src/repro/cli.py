@@ -19,13 +19,18 @@ Commands
              JSONL workload (or a seeded Poisson stream) through the gang
              scheduler + result cache and print the service report;
              ``--slo`` adds declarative health objectives (docs/SERVING.md)
+``ensemble`` run a perturbed-member forecast ensemble as a gang through
+             the service and print the probabilistic product — mean /
+             spread / percentiles plus the coverage stamp; exit 1 flags
+             a degraded product (docs/ENSEMBLE.md)
 ``doctor``   the perf doctor (docs/DOCTOR.md): critical-path and overlap
              attribution over a trace or the modeled overlap methods, plus
              the ``--regress`` bench regression gate over BENCH_*.json
 ``info``     device specs and calibration anchors
 
-Diagnostic commands (``trace``, ``analyze``, ``doctor``, ``serve``) share
-one exit-code convention: 0 = clean, 1 = findings/alerts, 2 = usage error.
+Diagnostic commands (``trace``, ``analyze``, ``doctor``, ``serve``,
+``ensemble``) share one exit-code convention: 0 = clean, 1 =
+findings/alerts, 2 = usage error.
 
 The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
 does is shown in examples/ as library code.
@@ -47,6 +52,10 @@ _EXIT_CODES = ("exit codes: 0 = clean, 1 = findings/alerts were reported, "
 #: repro.dist.overlap.METHOD_CONFIGS (asserted by tests/obs/test_doctor.py)
 _METHODS = ["serial", "method1", "method1+2", "method1+2+3"]
 
+#: mirrors repro.api.WORKLOADS (asserted by tests/test_cli.py)
+_WORKLOADS = ["mountain-wave", "warm-bubble", "real-case", "shear-layer",
+              "vortex"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -57,13 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="integrate a workload")
     run.add_argument("workload", nargs="?", default="warm-bubble",
-                     choices=["mountain-wave", "warm-bubble", "real-case",
-                              "shear-layer"])
+                     choices=_WORKLOADS)
     run.add_argument("--nx", type=int, default=None)
     run.add_argument("--ny", type=int, default=None)
     run.add_argument("--nz", type=int, default=None)
     run.add_argument("--steps", type=int, default=50)
     run.add_argument("--dt", type=float, default=None)
+    run.add_argument("--seed", type=int, default=None,
+                     help="perturbation seed: applies the workload's "
+                          "seeded IC noise (ensemble members set this; "
+                          "semantic — enters the spec hash)")
     run.add_argument("--backend", default="auto",
                      choices=["auto", "cpu", "gpu", "multigpu"],
                      help="execution backend (auto: multigpu when --ranks "
@@ -122,8 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="replay a workload under tracing (run + artifacts)",
         epilog=_EXIT_CODES)
     tr.add_argument("workload", nargs="?", default="warm-bubble",
-                    choices=["mountain-wave", "warm-bubble", "real-case",
-                             "shear-layer"])
+                    choices=_WORKLOADS)
     tr.add_argument("-o", "--output", default="trace.json",
                     help="Chrome Trace Format output path")
     tr.add_argument("--jsonl", type=str, default=None,
@@ -173,8 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--list-codes", action="store_true",
                     help="print the finding-code registry and exit")
     an.add_argument("--workload", default="shear-layer",
-                    choices=["mountain-wave", "warm-bubble", "real-case",
-                             "shear-layer"],
+                    choices=_WORKLOADS,
                     help="workload driven by the smoke runs")
     an.add_argument("--steps", type=int, default=2,
                     help="smoke-run long steps")
@@ -245,6 +255,55 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--jobs-table", action="store_true",
                      help="append the per-job table to the text report")
 
+    ens = sub.add_parser(
+        "ensemble",
+        help="run a perturbed-member forecast ensemble through the "
+             "service and print the probabilistic product "
+             "(docs/ENSEMBLE.md)",
+        epilog=_EXIT_CODES + "; for ensembles, exit 1 also flags a "
+               "degraded product (coverage < 1)")
+    ens.add_argument("workload", nargs="?", default="vortex",
+                     choices=_WORKLOADS)
+    ens.add_argument("--members", type=int, default=8,
+                     help="ensemble size (member 0 is the unperturbed "
+                          "control unless --no-control)")
+    ens.add_argument("--seed", type=int, default=0,
+                     help="ensemble seed; every member derives its own "
+                          "sub-seed from (seed, member, perturbation)")
+    ens.add_argument("--steps", type=int, default=5)
+    ens.add_argument("--nx", type=int, default=None)
+    ens.add_argument("--ny", type=int, default=None)
+    ens.add_argument("--nz", type=int, default=None)
+    ens.add_argument("--dt", type=float, default=None)
+    ens.add_argument("--perturb", action="append", default=None,
+                     metavar="PERT",
+                     help="perturbation (repeatable; replaces the "
+                          "default catalogue): 'ic[:THETA[,WIND]]' for "
+                          "IC noise, 'KEY~SIGMA' for lognormal parameter "
+                          "jitter, e.g. vmax~0.15")
+    ens.add_argument("--no-control", action="store_true",
+                     help="perturb member 0 too")
+    ens.add_argument("--gpus", type=int, default=4, help="fleet size")
+    ens.add_argument("--device", default="s1070",
+                     choices=["s1070", "m2050"])
+    ens.add_argument("--policy", default="fifo",
+                     choices=["fifo", "priority", "sjf"])
+    ens.add_argument("--cache-size", type=int, default=8,
+                     help="result-cache capacity (kept small: folded "
+                          "members are released, the cache is the only "
+                          "state holder)")
+    ens.add_argument("--faults", type=str, default=None, metavar="PLAN",
+                     help="service-level crash plan keyed by member "
+                          "index, e.g. crash@3:x2 crashes member 3 twice")
+    ens.add_argument("--max-retries", type=int, default=2,
+                     help="member retries before eviction (an evicted "
+                          "member shrinks the ensemble: coverage < 1)")
+    ens.add_argument("--trace", type=str, default=None, metavar="OUT.json",
+                     help="export the ensemble run as one Chrome trace "
+                          "(member spans + fold/skip instants)")
+    ens.add_argument("--json", action="store_true",
+                     help="emit the product + service report as JSON")
+
     doc = sub.add_parser(
         "doctor",
         help="perf doctor: critical-path/overlap attribution and the "
@@ -277,8 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "flag drift vs the cost table "
                           "(docs/DOCTOR.md)")
     doc.add_argument("--workload", default="shear-layer",
-                     choices=["mountain-wave", "warm-bubble", "real-case",
-                              "shear-layer"],
+                     choices=_WORKLOADS,
                      help="workload for the counted --roofline run "
                           "(default shear-layer)")
     doc.add_argument("--steps", type=int, default=2,
@@ -333,6 +391,7 @@ def _spec_from_args(args) -> "RunSpec":
         workload=args.workload,
         steps=args.steps,
         nx=args.nx, ny=args.ny, nz=args.nz, dt=args.dt,
+        seed=getattr(args, "seed", None),
         backend=getattr(args, "backend", "auto"),
         stencil_backend=getattr(args, "stencil_backend", "auto"),
         ranks=args.ranks or None,
@@ -618,6 +677,65 @@ def _cmd_serve(args) -> int:
     return 0 if (report.n_done + report.n_cached) or not report.n_submitted else 1
 
 
+# ----------------------------------------------------------------- ensemble
+def _cmd_ensemble(args) -> int:
+    """Run a perturbed-member ensemble through the forecast service and
+    print the probabilistic product; exit 1 flags a degraded product
+    (coverage < 1) or fired alerts."""
+    import json as _json
+
+    from .api import RunSpec
+    from .ensemble import EnsembleRunner, EnsembleSpec, parse_perturbation
+    from .gpu.spec import device_spec
+    from .resilience.retry import RetryPolicy
+    from .serve import GpuFleet
+
+    session = None
+    if args.trace:
+        from .obs import TraceSession
+
+        session = TraceSession(name="ensemble")
+    try:
+        perturbations = (tuple(parse_perturbation(p) for p in args.perturb)
+                         if args.perturb else None)
+        ensemble = EnsembleSpec(
+            base=RunSpec(workload=args.workload, steps=args.steps,
+                         nx=args.nx, ny=args.ny, nz=args.nz, dt=args.dt),
+            members=args.members,
+            seed=args.seed,
+            perturbations=perturbations,
+            control=not args.no_control,
+        )
+        runner = EnsembleRunner(
+            ensemble,
+            fleet=GpuFleet(args.gpus, device_spec(args.device)),
+            policy=args.policy,
+            faults=args.faults,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            cache_capacity=args.cache_size,
+            session=session,
+        )
+    except ValueError as exc:
+        print(f"ensemble: {exc}", file=sys.stderr)
+        return 2
+    result = runner.run()
+    if session is not None:
+        from .obs import write_chrome_trace
+
+        session.finalize()
+        print(f"trace: {write_chrome_trace(session, args.trace)}",
+              file=sys.stderr)
+    if args.json:
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    # a degraded product is a finding: the forecast exists but lost
+    # members (coverage < 1) — callers must see that in the exit status
+    if not result.complete or result.report.alerts:
+        return 1
+    return 0
+
+
 # ------------------------------------------------------------------- doctor
 def _parse_tolerances(items: "list[str] | None") -> "dict[str, float | None] | None":
     """['*.gflops=0.1', 'foo.*=ignore'] -> {'*.gflops': 0.1, 'foo.*': None}"""
@@ -795,6 +913,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "ensemble":
+        return _cmd_ensemble(args)
     if args.command == "doctor":
         return _cmd_doctor(args)
     if args.command == "reproduce":

@@ -1,0 +1,53 @@
+"""repro.ensemble — perturbed-member forecasting with online products.
+
+Operational NWP runs ensembles: N perturbed copies of one forecast whose
+spread *is* the uncertainty estimate.  This subsystem builds that on the
+repo's existing layers rather than beside them:
+
+* :class:`EnsembleSpec` — a declarative recipe (base
+  :class:`~repro.api.RunSpec` x members x named perturbations) that
+  :meth:`~repro.ensemble.spec.EnsembleSpec.expand`\\ s into N
+  self-contained member specs; every perturbation draws from a hashed
+  sub-seed of (ensemble seed, member, perturbation name), so any member
+  reproduces standalone, bitwise (:mod:`repro.ensemble.spec`,
+  :mod:`repro.ensemble.perturb`);
+* :class:`EnsembleRunner` — submits the members as a same-instant gang
+  through the :class:`~repro.serve.service.ForecastService` (gang
+  scheduling, result cache, retry-or-evict fault tolerance all apply per
+  member) and folds each one the moment it completes
+  (:mod:`repro.ensemble.runner`);
+* :class:`OnlineReducer` — Welford mean/variance plus percentile point
+  products, folded strictly in member-index order behind a reorder
+  buffer, so the product is bitwise independent of completion order and
+  identical to the offline batch reduction; a lost member shrinks the
+  ensemble and stamps ``coverage < 1`` on the
+  :class:`EnsembleProduct` instead of failing the forecast
+  (:mod:`repro.ensemble.reduce`).
+
+``repro ensemble`` is the CLI face; see docs/ENSEMBLE.md.
+"""
+from .perturb import (
+    ICNoise,
+    ParamJitter,
+    Perturbation,
+    default_perturbations,
+    member_seed,
+    parse_perturbation,
+)
+from .reduce import (
+    Contribution,
+    EnsembleProduct,
+    OnlineReducer,
+    member_contribution,
+)
+from .runner import EnsembleResult, EnsembleRunner
+from .spec import EnsembleSpec
+
+__all__ = [
+    "EnsembleSpec",
+    "Perturbation", "ICNoise", "ParamJitter",
+    "member_seed", "default_perturbations", "parse_perturbation",
+    "OnlineReducer", "Contribution", "EnsembleProduct",
+    "member_contribution",
+    "EnsembleRunner", "EnsembleResult",
+]

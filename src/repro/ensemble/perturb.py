@@ -1,0 +1,178 @@
+"""The perturbation catalogue: how one control spec becomes N members.
+
+Ensemble spread has to come from somewhere auditable.  Each
+:class:`Perturbation` is a *named* transformation of a
+:class:`~repro.api.RunSpec`, and each (ensemble seed, member index,
+perturbation name) triple derives its own sub-seed by hashing — so the
+randomness a perturbation consumes is independent of every other
+perturbation and of the member count.  Adding a perturbation to the
+catalogue, or growing the ensemble, never changes what an existing
+member computes.
+
+Crucially, :meth:`Perturbation.apply` writes *concrete values* into the
+expanded spec (an integer ``seed``, jittered numbers in
+``workload_kwargs``): the member spec is self-contained, and re-running
+it standalone — on another machine, from its JSONL line — reproduces the
+member bit for bit (tests/ensemble/test_spec.py).
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..api import RunSpec, _workload_factories
+
+__all__ = ["Perturbation", "ICNoise", "ParamJitter", "member_seed",
+           "default_perturbations", "parse_perturbation"]
+
+
+def member_seed(seed: int, member: int, name: str) -> int:
+    """The sub-seed of one (ensemble, member, perturbation) triple:
+    the first 4 bytes of sha256 over the triple, so every perturbation
+    of every member draws from an independent, reproducible stream."""
+    digest = hashlib.sha256(f"{seed}:{member}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One named way to perturb a member spec (abstract base)."""
+
+    name: str
+
+    def apply(self, spec: RunSpec, *, seed: int, member: int) -> RunSpec:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ICNoise(Perturbation):
+    """Seeded initial-condition noise: stamps the member's ``spec.seed``
+    (the run facade threads it to the workload factory, which applies
+    :func:`repro.workloads.apply_ic_noise`) and, when given, the noise
+    amplitudes.  ``theta_noise``/``wind_noise`` of None leave the
+    factory defaults (the shear-layer factory has its own noise knobs
+    and takes only the seed)."""
+
+    theta_noise: float | None = None
+    wind_noise: float | None = None
+
+    def apply(self, spec: RunSpec, *, seed: int, member: int) -> RunSpec:
+        kwargs = dict(spec.workload_kwargs)
+        if self.theta_noise is not None:
+            kwargs["theta_noise"] = self.theta_noise
+        if self.wind_noise is not None:
+            kwargs["wind_noise"] = self.wind_noise
+        return dataclasses.replace(
+            spec, seed=member_seed(seed, member, self.name),
+            workload_kwargs=kwargs)
+
+    def describe(self) -> str:
+        amps = []
+        if self.theta_noise is not None:
+            amps.append(f"theta {self.theta_noise} K")
+        if self.wind_noise is not None:
+            amps.append(f"wind {self.wind_noise} m/s")
+        return f"{self.name}: seeded IC noise" + (
+            f" ({', '.join(amps)})" if amps else "")
+
+
+@dataclass(frozen=True)
+class ParamJitter(Perturbation):
+    """Multiplicative lognormal jitter of one workload-factory parameter:
+    ``value = base * exp(sigma * N(0, 1))`` from the perturbation's own
+    sub-seeded stream (positive parameters stay positive).  The base is
+    the spec's explicit kwarg when present, else the factory default."""
+
+    key: str = ""
+    sigma: float = 0.1
+
+    def apply(self, spec: RunSpec, *, seed: int, member: int) -> RunSpec:
+        base = spec.workload_kwargs.get(self.key)
+        if base is None:
+            base = _factory_default(spec.workload, self.key)
+        rng = np.random.default_rng(member_seed(seed, member, self.name))
+        jittered = float(base) * float(np.exp(self.sigma
+                                              * rng.standard_normal()))
+        kwargs = dict(spec.workload_kwargs)
+        kwargs[self.key] = jittered
+        return dataclasses.replace(spec, workload_kwargs=kwargs)
+
+    def describe(self) -> str:
+        return f"{self.name}: lognormal jitter of '{self.key}' (sigma {self.sigma})"
+
+
+def _factory_default(workload: str, key: str) -> float:
+    """The default value of a factory keyword (jitter needs a base)."""
+    factory = _workload_factories()[workload]
+    params = inspect.signature(factory).parameters
+    if key not in params or params[key].default is inspect.Parameter.empty:
+        raise ValueError(
+            f"workload {workload!r} has no jitterable parameter {key!r}")
+    return float(params[key].default)
+
+
+#: the default catalogue per workload: IC noise always, plus the one or
+#: two physics parameters whose uncertainty dominates that case
+_DEFAULT_CATALOGUE: dict[str, tuple[Perturbation, ...]] = {
+    "vortex": (
+        ICNoise("ic-noise", theta_noise=0.3, wind_noise=0.2),
+        ParamJitter("jitter-vmax", key="vmax", sigma=0.10),
+        ParamJitter("jitter-rmax", key="rmax", sigma=0.10),
+    ),
+    "warm-bubble": (
+        ICNoise("ic-noise", theta_noise=0.3),
+        ParamJitter("jitter-dtheta", key="bubble_dtheta", sigma=0.10),
+    ),
+    "mountain-wave": (
+        ICNoise("ic-noise", theta_noise=0.3),
+        ParamJitter("jitter-u0", key="u0", sigma=0.05),
+    ),
+    "real-case": (
+        ICNoise("ic-noise", theta_noise=0.3),
+        ParamJitter("jitter-vortex-amp", key="vortex_amp", sigma=0.10),
+    ),
+    # the shear layer's own seeded noise IS the workload; only reseed it
+    "shear-layer": (ICNoise("ic-noise"),),
+}
+
+
+def default_perturbations(workload: str) -> tuple[Perturbation, ...]:
+    """The default perturbation set of a workload (docs/ENSEMBLE.md
+    lists the full catalogue)."""
+    try:
+        return _DEFAULT_CATALOGUE[workload]
+    except KeyError:
+        raise ValueError(f"no default perturbations for workload "
+                         f"{workload!r}") from None
+
+
+def parse_perturbation(text: str) -> Perturbation:
+    """Parse one ``--perturb`` CLI grammar item:
+
+    * ``ic`` or ``ic:0.5`` or ``ic:0.5,0.2`` — IC noise with optional
+      theta [K] and wind [m/s] amplitudes;
+    * ``KEY~SIGMA`` (e.g. ``vmax~0.15``) — lognormal parameter jitter.
+    """
+    text = text.strip()
+    if text == "ic" or text.startswith("ic:"):
+        theta = wind = None
+        if ":" in text:
+            parts = text.split(":", 1)[1].split(",")
+            theta = float(parts[0])
+            if len(parts) > 1:
+                wind = float(parts[1])
+        return ICNoise("ic-noise", theta_noise=theta, wind_noise=wind)
+    if "~" in text:
+        key, _, sigma = text.partition("~")
+        if not key or not sigma:
+            raise ValueError(f"bad jitter spec {text!r}: want KEY~SIGMA")
+        return ParamJitter(f"jitter-{key}", key=key, sigma=float(sigma))
+    raise ValueError(
+        f"bad perturbation {text!r}: want 'ic[:THETA[,WIND]]' or 'KEY~SIGMA'")

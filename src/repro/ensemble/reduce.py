@@ -1,0 +1,271 @@
+"""Online probabilistic products: fold members as they complete.
+
+An ensemble's value is its distribution — mean, spread, percentiles of
+fields and point products — but holding N member states to compute it
+batch-style is exactly what a production service cannot afford.  The
+:class:`OnlineReducer` folds each completed member into Welford
+mean/variance accumulators (two arrays per reduced field, regardless of
+N) and releases the member state immediately afterwards.
+
+**Bitwise order invariance.**  Floating-point accumulation is order-
+dependent, yet members complete in whatever order the fleet schedules
+them — and the product must not depend on that.  The reducer therefore
+folds strictly in *member-index order*: an out-of-order completion
+parks in a reorder buffer until its predecessors have folded (a skipped
+member — evicted, failed, shed — files a hole so the buffer can drain
+past it).  Any completion order then performs the identical sequence of
+floating-point operations, and :meth:`OnlineReducer.batch` — the
+offline reference that sees all members at once — is the same fold, so
+online == offline bitwise (tests/ensemble/test_reducer.py).
+
+Scalar percentiles go through :func:`repro.obs.metrics.percentile`, the
+repo's single percentile implementation, so ensemble p10/p50/p90 are
+comparable with every other distribution the repo reports.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..api import RunResult
+from ..obs.metrics import percentile
+
+__all__ = ["Contribution", "member_contribution", "OnlineReducer",
+           "EnsembleProduct"]
+
+#: fields reduced into ensemble mean/spread (interior views; the core
+#: prognostic set every workload carries)
+REDUCED_FIELDS = ("rho", "rhotheta", "rhou", "rhov", "rhow")
+
+
+@dataclass
+class Contribution:
+    """What one completed member contributes to the product — small by
+    construction: interior field copies (folded then dropped), final
+    scalars, and the point-product track series when the workload
+    records one."""
+
+    member: int
+    fields: dict[str, np.ndarray]
+    scalars: dict[str, float]
+    series: "dict[str, list] | None" = None
+
+
+def member_contribution(result: RunResult, member: int) -> Contribution:
+    """Extract the reducible payload of one member's RunResult."""
+    state = result.state
+    g = state.grid
+    slices = {"rhou": g.isl_u, "rhov": g.isl_v}
+    fields = {
+        name: np.asarray(state.get(name)[slices.get(name, g.isl)],
+                         dtype=np.float64).copy()
+        for name in REDUCED_FIELDS
+    }
+    d = result.diagnostics
+    scalars = {
+        "max_wind": float(d.max_wind),
+        "max_w": float(d.max_w),
+        "total_mass": float(d.total_mass),
+        "min_theta": float(d.min_theta),
+        "max_theta": float(d.max_theta),
+    }
+    series = result.series
+    if series:
+        # the track's own point products (vortex: center + intensity)
+        for key in ("max_wind", "min_p_pert", "cx", "cy"):
+            if series.get(key):
+                scalars[f"track.{key}"] = float(series[key][-1])
+        for key, values in series.items():
+            if key != "t":
+                fields[f"track.{key}"] = np.asarray(values,
+                                                    dtype=np.float64)
+    return Contribution(member=member, fields=fields, scalars=scalars,
+                        series=series)
+
+
+class OnlineReducer:
+    """Welford mean/variance over members, folded in index order.
+
+    Feed completions with :meth:`fold` (any order — the reorder buffer
+    serializes them) and terminal failures with :meth:`skip`; then
+    :meth:`finalize`.  ``coverage = reduced / requested`` is the
+    product's explicit quality stamp.
+    """
+
+    def __init__(self, n_requested: int):
+        if n_requested < 1:
+            raise ValueError("n_requested must be >= 1")
+        self.n_requested = n_requested
+        self.n_reduced = 0
+        self.skipped: dict[int, str] = {}
+        self._mean: dict[str, np.ndarray] = {}
+        self._m2: dict[str, np.ndarray] = {}
+        self._scalars: dict[str, list[float]] = {}
+        self._tracks: dict[int, dict[str, list]] = {}
+        #: reorder buffer: member -> Contribution (or a skip reason str)
+        self._pending: dict[int, "Contribution | str"] = {}
+        self._next = 0
+        self._seen: set[int] = set()
+
+    # -------------------------------------------------------------- feed
+    def fold(self, member: int, contribution: Contribution) -> None:
+        """Account one completed member (idempotent per member; folds
+        happen in index order regardless of call order)."""
+        self._admit(member, contribution)
+
+    def skip(self, member: int, reason: str = "evicted") -> None:
+        """Account one member that will never complete — the ensemble
+        shrinks and coverage drops, but the product still converges."""
+        self._admit(member, reason)
+
+    def _admit(self, member: int, payload: "Contribution | str") -> None:
+        if not 0 <= member < self.n_requested:
+            raise ValueError(f"member {member} outside ensemble of "
+                             f"{self.n_requested}")
+        if member in self._seen:
+            return
+        self._seen.add(member)
+        self._pending[member] = payload
+        while self._next in self._pending:
+            item = self._pending.pop(self._next)
+            if isinstance(item, str):
+                self.skipped[self._next] = item
+            else:
+                self._fold_now(item)
+            self._next += 1
+
+    def _fold_now(self, c: Contribution) -> None:
+        self.n_reduced += 1
+        n = self.n_reduced
+        for name, x in c.fields.items():
+            x = np.asarray(x, dtype=np.float64)
+            if name not in self._mean:
+                self._mean[name] = np.zeros_like(x)
+                self._m2[name] = np.zeros_like(x)
+            mean, m2 = self._mean[name], self._m2[name]
+            if mean.shape != x.shape:
+                # a jittered track can differ in length only if the spec
+                # changed steps; truncate to the common prefix
+                k = min(mean.shape[0], x.shape[0])
+                mean, m2, x = mean[:k], m2[:k], x[:k]
+                self._mean[name], self._m2[name] = mean, m2
+            delta = x - mean
+            mean += delta / n
+            m2 += delta * (x - mean)
+        for name, v in c.scalars.items():
+            self._scalars.setdefault(name, []).append(float(v))
+        if c.series:
+            self._tracks[c.member] = c.series
+
+    # ----------------------------------------------------------- product
+    def finalize(self) -> "EnsembleProduct":
+        """The probabilistic product of everything folded so far."""
+        field_stats: dict[str, dict[str, np.ndarray]] = {}
+        for name, mean in self._mean.items():
+            if self.n_reduced > 1:
+                spread = np.sqrt(self._m2[name] / (self.n_reduced - 1))
+            else:
+                spread = np.zeros_like(mean)
+            field_stats[name] = {"mean": mean.copy(), "spread": spread}
+        scalar_stats: dict[str, dict[str, Any]] = {}
+        for name, values in self._scalars.items():
+            scalar_stats[name] = {
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+                "p10": percentile(values, 10),
+                "p50": percentile(values, 50),
+                "p90": percentile(values, 90),
+                "values": list(values),
+            }
+        return EnsembleProduct(
+            members_requested=self.n_requested,
+            members_reduced=self.n_reduced,
+            skipped=dict(self.skipped),
+            field_stats=field_stats,
+            scalar_stats=scalar_stats,
+            tracks={m: dict(s) for m, s in sorted(self._tracks.items())},
+        )
+
+    # ---------------------------------------------------------- offline
+    @classmethod
+    def batch(cls, contributions: list[Contribution], n_requested: int,
+              skipped: "dict[int, str] | None" = None) -> "EnsembleProduct":
+        """The offline reference reduction: fold every contribution in
+        member-index order.  Bitwise identical to the online path by
+        construction (same fold sequence)."""
+        red = cls(n_requested)
+        for c in sorted(contributions, key=lambda c: c.member):
+            red.fold(c.member, c)
+        for m, reason in sorted((skipped or {}).items()):
+            red.skip(m, reason)
+        return red.finalize()
+
+
+@dataclass
+class EnsembleProduct:
+    """Mean / spread / percentiles plus the coverage stamp."""
+
+    members_requested: int
+    members_reduced: int
+    skipped: dict[int, str] = field(default_factory=dict)
+    #: field -> {"mean": ndarray, "spread": ndarray} (sample std)
+    field_stats: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: scalar -> {"mean","min","max","p10","p50","p90","values"}
+    scalar_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: per-member track series of the reduced members (point products)
+    tracks: dict[int, dict[str, list]] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Reduced / requested — an ensemble that lost members says so
+        on the product instead of silently narrowing its spread."""
+        return self.members_reduced / self.members_requested
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary: field arrays reduce to deterministic
+        scalar summaries, scalars and coverage ride whole."""
+        fields = {}
+        for name, st in self.field_stats.items():
+            fields[name] = {
+                "mean_rms": float(np.sqrt(np.mean(st["mean"] ** 2))),
+                "spread_rms": float(np.sqrt(np.mean(st["spread"] ** 2))),
+                "spread_max": float(st["spread"].max()),
+            }
+        return {
+            "members_requested": self.members_requested,
+            "members_reduced": self.members_reduced,
+            "coverage": self.coverage,
+            "skipped": {str(m): r for m, r in sorted(self.skipped.items())},
+            "fields": fields,
+            "scalars": {k: {kk: vv for kk, vv in v.items()}
+                        for k, v in self.scalar_stats.items()},
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"ensemble product — {self.members_reduced}/"
+            f"{self.members_requested} members reduced "
+            f"(coverage {self.coverage:.3f})",
+        ]
+        for m, reason in sorted(self.skipped.items()):
+            lines.append(f"  member {m}: {reason}")
+        if self.field_stats:
+            lines.append(f"  {'field':<16} {'mean rms':>12} "
+                         f"{'spread rms':>12} {'spread max':>12}")
+            for name, st in self.field_stats.items():
+                lines.append(
+                    f"  {name:<16} "
+                    f"{float(np.sqrt(np.mean(st['mean'] ** 2))):>12.5g} "
+                    f"{float(np.sqrt(np.mean(st['spread'] ** 2))):>12.5g} "
+                    f"{float(st['spread'].max()):>12.5g}")
+        if self.scalar_stats:
+            lines.append(f"  {'scalar':<16} {'mean':>10} {'p10':>10} "
+                         f"{'p50':>10} {'p90':>10}")
+            for name, st in self.scalar_stats.items():
+                lines.append(f"  {name:<16} {st['mean']:>10.4g} "
+                             f"{st['p10']:>10.4g} {st['p50']:>10.4g} "
+                             f"{st['p90']:>10.4g}")
+        return "\n".join(lines)

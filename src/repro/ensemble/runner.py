@@ -1,0 +1,154 @@
+"""EnsembleRunner: member gangs through the forecast service.
+
+Members are ordinary jobs: the :class:`~repro.ensemble.spec.EnsembleSpec`
+expands into N self-contained member specs, each submitted (tagged with
+its member index) to a :class:`~repro.serve.service.ForecastService` at
+the same modeled instant — a gang arrival on the shared fleet, scheduled
+by the existing :class:`~repro.serve.scheduler.GangScheduler` under
+whatever policy and load the service is configured with.
+
+Fault tolerance is the service's, applied per member: an injected crash
+retries under the :class:`~repro.resilience.retry.RetryPolicy`; a member
+that crashes past its retry budget is *evicted*, the ensemble shrinks,
+and the product carries ``coverage = reduced / requested`` rather than
+pretending nothing happened.  The reducer folds each member the moment
+its terminal event fires (``on_job_done``) and then releases the
+service's hold on the member state (``release_result``) — N member
+states never coexist in memory.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api import RunResult
+from ..obs.trace import TraceSession
+from ..serve.cache import ResultCache
+from ..serve.fleet import GpuFleet
+from ..serve.jobs import Job, JobState
+from ..serve.service import ForecastService, ServiceReport
+from ..serve.workload import Submission
+from .reduce import EnsembleProduct, OnlineReducer, member_contribution
+from .spec import EnsembleSpec
+
+__all__ = ["EnsembleRunner", "EnsembleResult"]
+
+
+@dataclass
+class EnsembleResult:
+    """The product plus the service-side story of producing it."""
+
+    ensemble: dict[str, Any]
+    product: EnsembleProduct
+    report: ServiceReport
+    #: member -> terminal job state value ("done", "evicted", ...)
+    member_states: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.product.coverage >= 1.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ensemble": dict(self.ensemble),
+            "product": self.product.as_dict(),
+            "members": {str(m): s for m, s in
+                        sorted(self.member_states.items())},
+            "service": self.report.as_dict(),
+        }
+
+    def render(self) -> str:
+        spec = self.ensemble
+        lines = [
+            f"ensemble — {spec['workload']} x {spec['members']} members "
+            f"(seed {spec['seed']}, {spec['steps']} steps)",
+            "  perturbations: " + "; ".join(spec["perturbations"]),
+            "",
+            self.product.render(),
+            "",
+            self.report.render(),
+        ]
+        return "\n".join(lines)
+
+
+class EnsembleRunner:
+    """Expand, submit as a gang, reduce online, report."""
+
+    def __init__(
+        self,
+        ensemble: EnsembleSpec,
+        *,
+        fleet: "GpuFleet | int" = 4,
+        policy: str = "fifo",
+        faults: "str | None" = None,
+        retry=None,
+        cache: "ResultCache | None" = None,
+        cache_capacity: int = 8,
+        session: "TraceSession | None" = None,
+        slo: "str | list | None" = None,
+        execute: bool = True,
+    ):
+        self.ensemble = ensemble
+        if not isinstance(fleet, GpuFleet):
+            fleet = GpuFleet(int(fleet))
+        self.session = session
+        self.reducer = OnlineReducer(ensemble.members)
+        self.service = ForecastService(
+            fleet, policy=policy, faults=faults, retry=retry,
+            cache=cache, cache_capacity=cache_capacity,
+            session=session, slo=slo, execute=execute,
+            on_job_done=self._on_job_done)
+        self._member_states: dict[int, str] = {}
+
+    # ------------------------------------------------------- incremental
+    def _on_job_done(self, job: Job) -> None:
+        """A member reached a terminal state on the service clock: fold
+        it (or file the hole) and release the held state."""
+        member = job.member
+        if member is None:
+            return
+        self._member_states[member] = job.state.value
+        if (job.state in (JobState.DONE, JobState.CACHED)
+                and isinstance(job.result, RunResult)):
+            self.reducer.fold(member,
+                              member_contribution(job.result, member))
+            self.service.release_result(job)
+            self._instant(f"fold member{member}",
+                          reduced=self.reducer.n_reduced)
+        else:
+            reason = job.state.value if job.error is None else job.error
+            self.reducer.skip(member, reason)
+            self._instant(f"skip member{member}", reason=reason)
+
+    def _instant(self, name: str, **args) -> None:
+        if self.session is not None:
+            self.session.record_instant(
+                name, self.service._clock, pid="ensemble", tid="members",
+                cat="ensemble", args=args or None)
+
+    # --------------------------------------------------------------- run
+    def submissions(self, *, t: float = 0.0) -> list[Submission]:
+        """The member gang: every expanded spec arrives at ``t``."""
+        return [Submission(t=t, spec=spec, member=m)
+                for m, spec in enumerate(self.ensemble.expand())]
+
+    def run(self) -> EnsembleResult:
+        report = self.service.run(self.submissions())
+        product = self.reducer.finalize()
+        if self.session is not None:
+            m = self.session.metrics
+            m.counter("ensemble.members.requested").inc(
+                product.members_requested)
+            m.counter("ensemble.members.reduced").inc(
+                product.members_reduced)
+            m.counter("ensemble.members.skipped").inc(len(product.skipped))
+            m.gauge("ensemble.coverage").set(product.coverage)
+            for name, st in product.scalar_stats.items():
+                m.gauge(f"ensemble.spread.{name}").set(
+                    st["p90"] - st["p10"])
+        return EnsembleResult(
+            ensemble=self.ensemble.as_dict(),
+            product=product,
+            report=report,
+            member_states=dict(sorted(self._member_states.items())),
+        )

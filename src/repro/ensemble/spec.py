@@ -1,0 +1,74 @@
+"""EnsembleSpec: one declarative description of N perturbed members.
+
+``EnsembleSpec(base, members=8, seed=42).expand()`` is pure: it returns
+the member :class:`~repro.api.RunSpec` list without running anything,
+and calling it twice — or on another machine — yields identical specs
+(and therefore identical spec hashes).  Member 0 is the unperturbed
+*control* by default; members 1..N-1 get the perturbation catalogue
+applied in order, each drawing from its own hashed sub-seed
+(:func:`~repro.ensemble.perturb.member_seed`).
+
+Because every perturbation writes concrete values into the expanded
+spec, any single member can be reproduced standalone by running its
+spec through the ordinary :class:`~repro.api.Experiment` facade — no
+ensemble machinery required (the fault-tolerance story depends on this:
+a retried member recomputes exactly what it computed the first time).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..api import WORKLOADS, RunSpec
+from .perturb import Perturbation, default_perturbations
+
+__all__ = ["EnsembleSpec"]
+
+
+@dataclass
+class EnsembleSpec:
+    """Declarative recipe: base spec x members x perturbations."""
+
+    base: RunSpec = field(default_factory=lambda: RunSpec(workload="vortex"))
+    members: int = 8
+    #: the ensemble seed every member sub-seed derives from
+    seed: int = 0
+    #: perturbations applied to each non-control member, in order; None
+    #: selects the workload's default catalogue
+    perturbations: "tuple[Perturbation, ...] | None" = None
+    #: keep member 0 unperturbed (the deterministic control run)
+    control: bool = True
+
+    def __post_init__(self) -> None:
+        if self.members < 1:
+            raise ValueError("an ensemble needs members >= 1")
+        if self.base.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.base.workload!r}")
+
+    def catalogue(self) -> tuple[Perturbation, ...]:
+        if self.perturbations is not None:
+            return tuple(self.perturbations)
+        return default_perturbations(self.base.workload)
+
+    def expand(self) -> list[RunSpec]:
+        """The member specs, index-ordered.  Pure and reproducible."""
+        catalogue = self.catalogue()
+        specs: list[RunSpec] = []
+        for m in range(self.members):
+            spec = replace(self.base,
+                           workload_kwargs=dict(self.base.workload_kwargs))
+            if not (self.control and m == 0):
+                for pert in catalogue:
+                    spec = pert.apply(spec, seed=self.seed, member=m)
+            specs.append(spec)
+        return specs
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.base.workload,
+            "steps": self.base.steps,
+            "members": self.members,
+            "seed": self.seed,
+            "control": self.control,
+            "perturbations": [p.describe() for p in self.catalogue()],
+        }

@@ -53,6 +53,9 @@ class Job:
     spec: RunSpec                  #: the *normalized* run spec
     priority: int = 0              #: larger = more urgent
     deadline: float | None = None  #: max turnaround [modeled s], or None
+    #: ensemble member index this job computes (repro.ensemble); None for
+    #: ordinary submissions.  Metadata only — scheduling ignores it.
+    member: int | None = None
     arrival: float = 0.0           #: modeled submission time
     gpus_needed: int = 1           #: gang width (px*py for multigpu)
     est_seconds: float = 0.0       #: modeled service time of one attempt
@@ -82,6 +85,7 @@ class Job:
         arrival: float = 0.0,
         priority: int = 0,
         deadline: float | None = None,
+        member: int | None = None,
         device: DeviceSpec = TESLA_S1070,
     ) -> "Job":
         """Build a job from a raw spec: normalize it, derive the gang
@@ -100,8 +104,9 @@ class Job:
             nx, ny, nz, norm.steps, spec=device, precision=precision,
             ranks=norm.ranks, backend=norm.backend, include_ice=norm.ice)
         return cls(index=index, spec=norm, priority=priority,
-                   deadline=deadline, arrival=arrival, gpus_needed=gpus,
-                   est_seconds=est, spec_hash=norm.spec_hash())
+                   deadline=deadline, member=member, arrival=arrival,
+                   gpus_needed=gpus, est_seconds=est,
+                   spec_hash=norm.spec_hash())
 
     # ----------------------------------------------------------- queries
     @property
@@ -149,4 +154,5 @@ def _grid_defaults(workload: str) -> tuple[int, int, int]:
         "mountain-wave": (64, 16, 24),
         "real-case": (48, 40, 16),
         "shear-layer": (32, 4, 40),
+        "vortex": (32, 32, 12),
     }.get(workload, (32, 32, 32))

@@ -177,6 +177,7 @@ class ForecastService:
         slo: "str | list | None" = None,
         monitor: "HealthMonitor | None" = None,
         execute: bool = True,
+        on_job_done=None,
     ):
         self.fleet = fleet
         self.scheduler = GangScheduler(policy, max_depth=queue_limit,
@@ -198,6 +199,12 @@ class ForecastService:
         #: False skips the real Experiment execution (pure scheduling
         #: studies on huge fleets); results/cache hits are then modeled
         self.execute = execute
+        #: ``on_job_done(job)`` fires once per job at its terminal state
+        #: (DONE / CACHED / SHED / FAILED / EVICTED), on the modeled
+        #: clock.  The ensemble runner folds members here incrementally
+        #: and then releases the held result (:meth:`release_result`),
+        #: so N members never sit in memory at once.
+        self.on_job_done = on_job_done
         self.jobs: list[Job] = []
         self._running: dict[int, float] = {}    # job index -> finish time
         self._events: list[tuple[float, int, str, Any]] = []
@@ -263,6 +270,7 @@ class ForecastService:
             job = Job.from_spec(i, sub.spec, arrival=sub.t,
                                 priority=sub.priority,
                                 deadline=sub.deadline,
+                                member=sub.member,
                                 device=self.fleet.spec)
             self.jobs.append(job)
             self._push(sub.t, "arrive", job)
@@ -280,6 +288,20 @@ class ForecastService:
         return self._report()
 
     # ---------------------------------------------------- event handlers
+    def _finalize(self, job: Job) -> None:
+        """A job just reached a terminal state: notify the subscriber."""
+        if self.on_job_done is not None:
+            self.on_job_done(job)
+
+    def release_result(self, job: Job) -> None:
+        """Drop the service's hold on an executed result after the
+        subscriber has consumed it (the ensemble reducer folds a member
+        and releases it, bounding resident member states).  The bounded
+        LRU cache entry survives — a later duplicate submission is still
+        a hit — but the unbounded executed-results shortcut does not."""
+        self._computed.pop(job.spec_hash, None)
+        job.result = None
+
     def _on_arrive(self, job: Job) -> None:
         if job.gpus_needed > self.fleet.n_gpus:
             job.state = JobState.FAILED
@@ -288,6 +310,7 @@ class ForecastService:
                          f"{self.fleet.n_gpus}")
             job.note(self._clock, "rejected")
             self._instant(f"reject job{job.index}", reason=job.error)
+            self._finalize(job)
             return
         cached = self.cache.get(job.spec_hash)
         if cached is not None:
@@ -298,11 +321,13 @@ class ForecastService:
             self._instant(f"cache-hit job{job.index}",
                           spec_hash=job.spec_hash[:12])
             self._observe("cache_hit_rate", self.cache.hit_rate)
+            self._finalize(job)
             return
         shed = self.scheduler.submit(job, self._clock)
         if shed is not None:
             self._instant(f"shed job{job.index}", depth=shed.depth,
                           limit=shed.limit)
+            self._finalize(job)
         self._observe("cache_hit_rate", self.cache.hit_rate)
 
     def _on_requeue(self, job: Job) -> None:
@@ -318,6 +343,7 @@ class ForecastService:
                        job.result if job.result is not None else _MODELED)
         if job.turnaround is not None:
             self._observe("turnaround_s", job.turnaround)
+        self._finalize(job)
 
     def _on_crash(self, job: Job) -> None:
         dur = self._release(job)
@@ -344,6 +370,7 @@ class ForecastService:
                          f"({job.crashes} crashes)")
             job.note(self._clock, "evicted")
             self._instant(f"evict job{job.index}", attempts=job.attempts)
+            self._finalize(job)
 
     # -------------------------------------------------------- scheduling
     def _schedule_pass(self) -> None:
@@ -398,6 +425,7 @@ class ForecastService:
         job.note(self._clock, "failed")
         self._job_span(job, dur, ok=False)
         self._instant(f"fail job{job.index}", error=job.error)
+        self._finalize(job)
 
     def _release(self, job: Job) -> float:
         """Free the job's GPUs, charging the modeled seconds it held
@@ -468,6 +496,9 @@ class ForecastService:
                 "index": j.index,
                 "workload": j.spec.workload,
                 "state": j.state.value,
+                # ensemble member metadata rides only when set, keeping
+                # pre-ensemble report payloads byte-identical
+                **({"member": j.member} if j.member is not None else {}),
                 "gpus": j.gpus_needed,
                 "priority": j.priority,
                 "arrival": round(j.arrival, 9),

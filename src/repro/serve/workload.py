@@ -32,7 +32,7 @@ from ..api import RunSpec
 __all__ = ["Submission", "load_workload", "dump_workload",
            "poisson_workload"]
 
-_RESERVED = ("t", "priority", "deadline")
+_RESERVED = ("t", "priority", "deadline", "member")
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,9 @@ class Submission:
     spec: RunSpec
     priority: int = 0
     deadline: float | None = None
+    #: ensemble member index (repro.ensemble); metadata carried through
+    #: to the job and the service report, never into the spec hash
+    member: int | None = None
 
     def as_line(self) -> dict:
         """The JSONL form (spec defaults elided for readability)."""
@@ -51,6 +54,8 @@ class Submission:
             line["priority"] = self.priority
         if self.deadline is not None:
             line["deadline"] = self.deadline
+        if self.member is not None:
+            line["member"] = self.member
         defaults = RunSpec()
         for f in dataclasses.fields(self.spec):
             v = getattr(self.spec, f.name)
@@ -81,10 +86,12 @@ def load_workload(path: str) -> list[Submission]:
                 spec = RunSpec(**spec_kwargs)
             except TypeError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}") from None
+            member = obj.get("member")
             subs.append(Submission(
                 t=float(obj.get("t", 0.0)), spec=spec,
                 priority=int(obj.get("priority", 0)),
-                deadline=obj.get("deadline")))
+                deadline=obj.get("deadline"),
+                member=None if member is None else int(member)))
     return sorted(subs, key=lambda s: s.t)
 
 
@@ -117,6 +124,8 @@ def poisson_workload(
     duplicate_fraction: float = 0.3,
     steps_range: tuple[int, int] = (2, 5),
     priorities: tuple[int, ...] = (0, 0, 1, 2),
+    ensemble_fraction: float = 0.0,
+    ensemble_members: int = 4,
 ) -> list[Submission]:
     """A seeded open-loop workload: ``n_jobs`` Poisson arrivals at
     ``rate`` jobs per modeled second.
@@ -128,7 +137,13 @@ def poisson_workload(
 
     Each arrival either resubmits an earlier spec verbatim (probability
     ``duplicate_fraction``; cache-hit fodder) or draws a palette shape
-    with a step count from ``steps_range``.  Deterministic per seed.
+    with a step count from ``steps_range``.  With probability
+    ``ensemble_fraction`` the arrival is instead a *correlated member
+    burst*: ``ensemble_members`` perturbed copies of one palette shape
+    land at the same instant, distinguished only by ``spec.seed`` and
+    tagged with their member index — the arrival pattern an ensemble
+    gang imposes on a shared fleet.  Every burst counts its members
+    against ``n_jobs``.  Deterministic per seed.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
@@ -137,19 +152,32 @@ def poisson_workload(
     weights = weights / weights.sum()
     lo, hi = steps_range
 
+    def _draw_spec() -> RunSpec:
+        kwargs = dict(_PALETTE[int(rng.choice(len(_PALETTE),
+                                              p=weights))][0])
+        kwargs["steps"] = int(rng.integers(lo, hi + 1))
+        return RunSpec(**kwargs)
+
+    def _priority() -> int:
+        return int(priorities[int(rng.integers(len(priorities)))])
+
     subs: list[Submission] = []
     t = 0.0
-    for _ in range(n_jobs):
+    while len(subs) < n_jobs:
         t += float(rng.exponential(1.0 / rate))
+        if ensemble_fraction and float(rng.random()) < ensemble_fraction:
+            base = _draw_spec()
+            gang_seed = int(rng.integers(2 ** 31))
+            pri = _priority()
+            n = min(ensemble_members, n_jobs - len(subs))
+            for m in range(n):
+                spec = dataclasses.replace(base, seed=gang_seed + m)
+                subs.append(Submission(t=t, spec=spec, priority=pri,
+                                       member=m))
+            continue
         if subs and float(rng.random()) < duplicate_fraction:
-            proto = subs[int(rng.integers(len(subs)))]
-            spec = proto.spec
+            spec = subs[int(rng.integers(len(subs)))].spec
         else:
-            kwargs = dict(_PALETTE[int(rng.choice(len(_PALETTE),
-                                                  p=weights))][0])
-            kwargs["steps"] = int(rng.integers(lo, hi + 1))
-            spec = RunSpec(**kwargs)
-        subs.append(Submission(
-            t=t, spec=spec,
-            priority=int(priorities[int(rng.integers(len(priorities)))])))
+            spec = _draw_spec()
+        subs.append(Submission(t=t, spec=spec, priority=_priority()))
     return subs

@@ -1,8 +1,10 @@
 """Benchmark and demonstration workloads (mountain wave, warm bubble,
-shear layer, synthetic real-data case)."""
+shear layer, synthetic real-data case, balanced vortex)."""
+from .icnoise import apply_ic_noise
 from .mountain_wave import MountainWaveCase, make_mountain_wave_case
 from .real_case import RealCase, make_real_case
 from .shear_layer import ShearLayerCase, make_shear_layer_case
+from .vortex import VortexCase, make_vortex_case
 from .warm_bubble import WarmBubbleCase, make_warm_bubble_case
 from .sounding import (
     constant_stability_sounding,
@@ -20,4 +22,6 @@ __all__ = [
     "WarmBubbleCase", "make_warm_bubble_case",
     "ShearLayerCase", "make_shear_layer_case",
     "RealCase", "make_real_case",
+    "VortexCase", "make_vortex_case",
+    "apply_ic_noise",
 ]

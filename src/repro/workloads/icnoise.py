@@ -1,0 +1,63 @@
+"""Seeded initial-condition noise shared by every workload factory.
+
+Ensemble forecasting (``repro.ensemble``, docs/ENSEMBLE.md) perturbs a
+control run into N members by stamping each expanded
+:class:`~repro.api.RunSpec` with a distinct ``seed``.  The run facade
+threads that seed into the workload factory, and the factory calls
+:func:`apply_ic_noise` *after* building its deterministic initial state:
+a seeded multiplicative potential-temperature perturbation plus an
+optional additive wind perturbation, both vanishing when ``seed`` is
+None — an unseeded case is bit-identical to what the factory built
+before this module existed.
+
+The noise amplitudes are physical (Kelvin, m/s) so perturbation
+magnitudes are comparable across workloads; the shear-layer case keeps
+its own historical ``seed``/``noise`` knobs (its noise *is* the
+workload) and does not go through here.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.state import State
+
+__all__ = ["apply_ic_noise"]
+
+
+def apply_ic_noise(
+    state: State,
+    *,
+    seed: int | None,
+    theta_noise: float = 0.3,
+    wind_noise: float = 0.0,
+) -> None:
+    """Perturb ``state`` in place with seeded noise (no-op when ``seed``
+    is None).
+
+    ``theta_noise`` is the standard deviation [K] of an additive
+    potential-temperature perturbation (applied as ``rho * dtheta`` on
+    the conserved ``rhotheta``, mirroring how the warm-bubble anomaly is
+    built); ``wind_noise`` is the standard deviation [m/s] of additive
+    u/v perturbations applied through the face-averaged G-weighted
+    density, mirroring how the factories impose mean winds.  The same
+    seed always produces the same perturbation, bitwise.
+    """
+    if seed is None:
+        return
+    rng = np.random.default_rng(seed)
+    dtype = state.dtype
+    if theta_noise:
+        noise = rng.standard_normal(state.rhotheta.shape)
+        state.rhotheta += (state.rho * theta_noise * noise).astype(dtype)
+    if wind_noise:
+        rho = state.rho
+        grho_u = np.empty(state.rhou.shape)
+        grho_u[1:-1] = 0.5 * (rho[1:] + rho[:-1])
+        grho_u[0], grho_u[-1] = rho[0], rho[-1]
+        grho_v = np.empty(state.rhov.shape)
+        grho_v[:, 1:-1] = 0.5 * (rho[:, 1:] + rho[:, :-1])
+        grho_v[:, 0], grho_v[:, -1] = rho[:, 0], rho[:, -1]
+        du = rng.standard_normal(state.rhou.shape)
+        dv = rng.standard_normal(state.rhov.shape)
+        state.rhou += (wind_noise * grho_u * du).astype(dtype)
+        state.rhov += (wind_noise * grho_v * dv).astype(dtype)

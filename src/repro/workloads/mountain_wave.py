@@ -19,6 +19,7 @@ from ..core.model import AsucaModel, ModelConfig
 from ..core.reference import ReferenceState, make_reference_state
 from ..core.rk3 import DynamicsConfig
 from ..core.state import State
+from .icnoise import apply_ic_noise
 from .sounding import constant_stability_sounding
 
 __all__ = ["MountainWaveCase", "make_mountain_wave_case", "linear_wave_w_scale"]
@@ -56,6 +57,9 @@ def make_mountain_wave_case(
     n_bv: float = 0.01,
     theta0: float = 288.0,
     sponge_depth: float | None = None,
+    seed: int | None = None,
+    theta_noise: float = 0.3,
+    wind_noise: float = 0.0,
     dtype=np.float64,
     physics: bool = False,
 ) -> MountainWaveCase:
@@ -75,6 +79,10 @@ def make_mountain_wave_case(
     )
     model = AsucaModel(grid, ref, config)
     state = model.initial_state(u0=u0, dtype=dtype)
+    if seed is not None:
+        apply_ic_noise(state, seed=seed, theta_noise=theta_noise,
+                       wind_noise=wind_noise)
+        model._exchange(state, None)
     return MountainWaveCase(
         grid=grid, ref=ref, model=model, state=state,
         u0=u0, mountain_height=mountain_height, half_width=half_width,

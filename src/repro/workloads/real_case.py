@@ -34,6 +34,7 @@ from ..core.reference import ReferenceState, make_reference_state
 from ..core.rk3 import DynamicsConfig
 from ..core.state import State, state_from_reference
 from ..physics.saturation import saturation_mixing_ratio
+from .icnoise import apply_ic_noise
 from .sounding import tropospheric_sounding
 
 __all__ = ["RealCase", "make_real_case", "RealCaseSnapshot"]
@@ -165,6 +166,9 @@ def make_real_case(
     terrain_height: float = 500.0,
     relax_width: int = 5,
     relax_tau: float = 120.0,
+    seed: int | None = None,
+    theta_noise: float = 0.3,
+    wind_noise: float = 0.0,
     dtype=np.float64,
 ) -> RealCase:
     """Build the synthetic forecast case (defaults are laptop-sized; the
@@ -226,6 +230,8 @@ def make_real_case(
     rh = 0.6 + (vortex_rh - 0.6) * np.minimum(1.0, 1.5 * np.exp(-r2))
     state.q["qv"][...] = (rh * qvs * state.rho).astype(dtype)
 
+    apply_ic_noise(state, seed=seed, theta_noise=theta_noise,
+                   wind_noise=wind_noise)
     model._exchange(state, None)
     case = RealCase(
         grid=grid, ref=ref, model=model, state=state,

@@ -15,6 +15,7 @@ from ..core.reference import ReferenceState, make_reference_state
 from ..core.rk3 import DynamicsConfig
 from ..core.state import State
 from ..physics.saturation import saturation_mixing_ratio
+from .icnoise import apply_ic_noise
 from .sounding import tropospheric_sounding
 
 __all__ = ["WarmBubbleCase", "make_warm_bubble_case"]
@@ -59,6 +60,9 @@ def make_warm_bubble_case(
     bubble_height: float = 2000.0,
     env_rh: float = 0.6,
     bubble_rh: float = 0.98,
+    seed: int | None = None,
+    theta_noise: float = 0.3,
+    wind_noise: float = 0.0,
     dtype=np.float64,
 ) -> WarmBubbleCase:
     """A warm, nearly saturated bubble in a conditionally unstable
@@ -91,5 +95,7 @@ def make_warm_bubble_case(
     rh = env_rh + (bubble_rh - env_rh) * np.minimum(1.0, 2.0 * shape)
     state.q["qv"][...] = (rh * qvs * state.rho).astype(dtype)
 
+    apply_ic_noise(state, seed=seed, theta_noise=theta_noise,
+                   wind_noise=wind_noise)
     model._exchange(state, None)
     return WarmBubbleCase(grid=grid, ref=ref, model=model, state=state)

@@ -1,0 +1,76 @@
+"""`repro ensemble` CLI: report, JSON determinism, exit-code convention."""
+import json
+
+import pytest
+
+from repro.cli import main
+
+SMALL = ["--members", "3", "--steps", "2",
+         "--nx", "16", "--ny", "16", "--nz", "8", "--gpus", "2"]
+
+
+def test_text_report(capsys):
+    rc = main(["ensemble", "vortex", *SMALL])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "vortex x 3 members" in out
+    assert "coverage 1.000" in out
+    assert "max_wind" in out
+
+
+def test_json_output_is_deterministic(capsys):
+    rc = main(["ensemble", "vortex", *SMALL, "--json"])
+    first = capsys.readouterr().out
+    assert rc == 0
+    rc = main(["ensemble", "vortex", *SMALL, "--json"])
+    second = capsys.readouterr().out
+    assert rc == 0
+    assert first == second
+    payload = json.loads(first)
+    assert payload["product"]["coverage"] == 1.0
+    assert payload["ensemble"]["members"] == 3
+    assert payload["members"] == {"0": "done", "1": "done", "2": "done"}
+
+
+def test_lost_member_flags_exit_one(capsys):
+    rc = main(["ensemble", "vortex", *SMALL,
+               "--faults", "crash@2:x3", "--max-retries", "1", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["product"]["coverage"] == pytest.approx(2 / 3)
+    assert payload["members"]["2"] == "evicted"
+
+
+def test_crash_within_budget_still_exits_clean(capsys):
+    rc = main(["ensemble", "vortex", *SMALL,
+               "--faults", "crash@1", "--max-retries", "2", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["product"]["coverage"] == 1.0
+    assert payload["service"]["retries"] >= 1
+
+
+def test_explicit_perturbations(capsys):
+    rc = main(["ensemble", "vortex", *SMALL,
+               "--perturb", "ic:0.5", "--perturb", "vmax~0.15", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    described = payload["ensemble"]["perturbations"]
+    assert len(described) == 2
+    assert any("vmax" in d for d in described)
+
+
+def test_bad_perturbation_is_a_usage_error(capsys):
+    rc = main(["ensemble", "vortex", *SMALL, "--perturb", "wat"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "ensemble:" in err and "wat" in err
+
+
+def test_trace_written(tmp_path, capsys):
+    trace = tmp_path / "ens.json"
+    rc = main(["ensemble", "vortex", *SMALL, "--trace", str(trace)])
+    assert rc == 0
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e.get("name", "").startswith("fold member")
+               for e in events)

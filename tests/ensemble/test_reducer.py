@@ -1,0 +1,142 @@
+"""OnlineReducer: bitwise order invariance, online == offline, coverage."""
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ensemble import Contribution, OnlineReducer
+
+
+def _contribution(member, rng):
+    return Contribution(
+        member=member,
+        fields={
+            "rho": rng.normal(size=(4, 3, 2)),
+            "track.max_wind": rng.normal(size=5),
+        },
+        scalars={"max_wind": float(rng.normal(loc=20.0)),
+                 "total_mass": float(rng.normal(loc=1e9))},
+        series={"t": [1, 2], "max_wind": [1.0, 2.0 + member]},
+    )
+
+
+def _members(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [_contribution(m, rng) for m in range(n)]
+
+
+def _products_equal(a, b):
+    assert a.members_requested == b.members_requested
+    assert a.members_reduced == b.members_reduced
+    assert a.skipped == b.skipped
+    assert a.field_stats.keys() == b.field_stats.keys()
+    for name in a.field_stats:
+        for stat in ("mean", "spread"):
+            assert np.array_equal(a.field_stats[name][stat],
+                                  b.field_stats[name][stat]), (name, stat)
+    assert a.scalar_stats == b.scalar_stats
+    assert a.tracks == b.tracks
+
+
+def test_online_equals_offline_bitwise():
+    members = _members(6)
+    online = OnlineReducer(6)
+    for c in members:
+        online.fold(c.member, c)
+    _products_equal(online.finalize(), OnlineReducer.batch(members, 6))
+
+
+def test_completion_order_cannot_change_the_product():
+    # floating-point folding is order-dependent; the reorder buffer makes
+    # every completion order perform the identical fold sequence
+    members = _members(4)
+    reference = OnlineReducer.batch(members, 4)
+    for order in itertools.permutations(members):
+        red = OnlineReducer(4)
+        for c in order:
+            red.fold(c.member, c)
+        _products_equal(red.finalize(), reference)
+
+
+def test_skip_files_a_hole_so_the_buffer_drains():
+    members = _members(5)
+    survivors = [c for c in members if c.member != 2]
+    # member 2 dies *after* later members already completed out of order
+    red = OnlineReducer(5)
+    red.fold(4, members[4])
+    red.fold(3, members[3])
+    assert red.n_reduced == 0  # parked behind the member-2 hole
+    red.fold(0, members[0])
+    red.fold(1, members[1])
+    assert red.n_reduced == 2
+    red.skip(2, "evicted")
+    assert red.n_reduced == 4
+    product = red.finalize()
+    assert product.coverage == pytest.approx(4 / 5)
+    assert product.skipped == {2: "evicted"}
+    _products_equal(product, OnlineReducer.batch(
+        survivors, 5, skipped={2: "evicted"}))
+
+
+def test_fold_is_idempotent_per_member():
+    members = _members(3)
+    red = OnlineReducer(3)
+    for c in members:
+        red.fold(c.member, c)
+    red.fold(1, members[1])  # a retried member reporting twice is ignored
+    red.skip(1, "late")
+    _products_equal(red.finalize(), OnlineReducer.batch(members, 3))
+
+
+def test_welford_matches_numpy_moments():
+    members = _members(8)
+    product = OnlineReducer.batch(members, 8)
+    stack = np.stack([c.fields["rho"] for c in members])
+    np.testing.assert_allclose(product.field_stats["rho"]["mean"],
+                               stack.mean(axis=0), rtol=1e-12)
+    np.testing.assert_allclose(product.field_stats["rho"]["spread"],
+                               stack.std(axis=0, ddof=1), rtol=1e-10)
+
+
+def test_single_member_has_zero_spread():
+    product = OnlineReducer.batch(_members(1), 1)
+    assert product.coverage == 1.0
+    assert not product.field_stats["rho"]["spread"].any()
+
+
+def test_scalar_percentiles_and_values():
+    product = OnlineReducer.batch(_members(5), 5)
+    st = product.scalar_stats["max_wind"]
+    assert len(st["values"]) == 5
+    assert st["min"] <= st["p10"] <= st["p50"] <= st["p90"] <= st["max"]
+    assert st["mean"] == pytest.approx(sum(st["values"]) / 5)
+
+
+def test_member_bounds_and_validation():
+    red = OnlineReducer(2)
+    with pytest.raises(ValueError):
+        red.fold(2, _members(3)[2])
+    with pytest.raises(ValueError):
+        red.skip(-1)
+    with pytest.raises(ValueError):
+        OnlineReducer(0)
+
+
+def test_as_dict_is_json_shaped():
+    import json
+
+    product = OnlineReducer.batch(_members(3), 4, skipped={3: "shed"})
+    d = product.as_dict()
+    json.dumps(d)  # no ndarray leaks
+    assert d["coverage"] == pytest.approx(3 / 4)
+    assert d["skipped"] == {"3": "shed"}
+    assert set(d["fields"]["rho"]) == {"mean_rms", "spread_rms",
+                                       "spread_max"}
+
+
+def test_render_mentions_coverage_and_skips():
+    text = OnlineReducer.batch(_members(3), 4,
+                               skipped={3: "evicted"}).render()
+    assert "3/4 members reduced" in text
+    assert "coverage 0.750" in text
+    assert "member 3: evicted" in text

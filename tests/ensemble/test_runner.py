@@ -1,0 +1,128 @@
+"""EnsembleRunner end to end: determinism, fault tolerance, memory
+release, and the online product against the offline reference."""
+import numpy as np
+import pytest
+
+from repro.api import Experiment, RunSpec
+from repro.ensemble import (
+    EnsembleRunner,
+    EnsembleSpec,
+    OnlineReducer,
+    member_contribution,
+)
+from repro.resilience.retry import RetryPolicy
+
+SMALL = RunSpec(workload="vortex", steps=2, nx=16, ny=16, nz=8)
+
+
+def _ensemble(members=4, seed=42):
+    return EnsembleSpec(base=SMALL, members=members, seed=seed)
+
+
+def _offline(spec, members, skipped=None):
+    """The batch reference: run each surviving member standalone."""
+    contributions = []
+    for m, member_spec in enumerate(spec.expand()):
+        if skipped and m in skipped:
+            continue
+        result = Experiment(member_spec).prepare().run()
+        contributions.append(member_contribution(result, m))
+    return OnlineReducer.batch(contributions, spec.members, skipped=skipped)
+
+
+def _products_equal(a, b):
+    assert (a.members_requested, a.members_reduced) == \
+        (b.members_requested, b.members_reduced)
+    assert a.skipped == b.skipped
+    assert a.field_stats.keys() == b.field_stats.keys()
+    for name in a.field_stats:
+        for stat in ("mean", "spread"):
+            assert np.array_equal(a.field_stats[name][stat],
+                                  b.field_stats[name][stat]), (name, stat)
+    assert a.scalar_stats == b.scalar_stats
+
+
+def test_rerun_reproduces_the_product_bitwise():
+    a = EnsembleRunner(_ensemble(), fleet=2).run()
+    b = EnsembleRunner(_ensemble(), fleet=2).run()
+    _products_equal(a.product, b.product)
+    assert a.product.as_dict() == b.product.as_dict()
+    assert a.member_states == b.member_states
+    assert a.complete and a.product.coverage == 1.0
+
+
+def test_fleet_width_cannot_change_the_product():
+    # different fleets complete members in different orders; the reorder
+    # buffer makes the fold sequence — hence the product — identical
+    wide = EnsembleRunner(_ensemble(), fleet=4).run()
+    narrow = EnsembleRunner(_ensemble(), fleet=1).run()
+    _products_equal(wide.product, narrow.product)
+
+
+def test_online_product_equals_offline_batch():
+    spec = _ensemble(members=3)
+    result = EnsembleRunner(spec, fleet=2).run()
+    _products_equal(result.product, _offline(spec, 3))
+
+
+def test_evicted_member_shrinks_coverage_not_the_forecast():
+    spec = _ensemble(members=4)
+    result = EnsembleRunner(spec, fleet=2, faults="crash@2:x3",
+                            retry=RetryPolicy(max_retries=1)).run()
+    assert result.member_states[2] == "evicted"
+    assert not result.complete
+    assert result.product.coverage == pytest.approx(3 / 4)
+    assert set(result.product.skipped) == {2}
+    assert result.product.skipped[2].startswith("evicted")
+    # the shrunken product is exactly the batch reduction over survivors
+    _products_equal(result.product,
+                    _offline(spec, 4, skipped=dict(result.product.skipped)))
+
+
+def test_crash_within_retry_budget_keeps_full_coverage():
+    result = EnsembleRunner(_ensemble(), fleet=2, faults="crash@1",
+                            retry=RetryPolicy(max_retries=2)).run()
+    assert result.complete
+    assert result.report.retries >= 1
+    _products_equal(result.product, _offline(_ensemble(), 4))
+
+
+def test_folded_members_are_released_from_service_memory():
+    runner = EnsembleRunner(_ensemble(members=3), fleet=2)
+    result = runner.run()
+    assert result.product.members_reduced == 3
+    # fold-then-release: the executed-results shortcut holds nothing once
+    # every member has been folded
+    assert runner.service._computed == {}
+    for job in runner.service.jobs:
+        assert job.result is None
+
+
+def test_report_jobs_carry_member_metadata():
+    result = EnsembleRunner(_ensemble(members=3), fleet=2,
+                            execute=False).run()
+    members = [j["member"] for j in result.report.jobs]
+    assert sorted(members) == [0, 1, 2]
+
+
+def test_modeled_only_run_skips_every_member():
+    # --no-execute style runs produce no states to reduce; the product
+    # says so instead of inventing a forecast
+    result = EnsembleRunner(_ensemble(members=3), fleet=2,
+                            execute=False).run()
+    assert result.product.members_reduced == 0
+    assert result.product.coverage == 0.0
+    assert set(result.product.skipped) == {0, 1, 2}
+
+
+def test_result_as_dict_and_render():
+    import json
+
+    result = EnsembleRunner(_ensemble(members=2), fleet=2).run()
+    d = result.as_dict()
+    json.dumps(d)
+    assert d["product"]["coverage"] == 1.0
+    assert d["members"] == {"0": "done", "1": "done"}
+    text = result.render()
+    assert "vortex x 2 members" in text
+    assert "coverage 1.000" in text

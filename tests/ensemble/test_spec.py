@@ -1,0 +1,139 @@
+"""EnsembleSpec expansion: determinism, sub-seed independence, and the
+standalone reproducibility of any member."""
+import numpy as np
+import pytest
+
+from repro.api import Experiment, RunSpec
+from repro.ensemble import (
+    EnsembleSpec,
+    ICNoise,
+    ParamJitter,
+    default_perturbations,
+    member_seed,
+    parse_perturbation,
+)
+
+BASE = RunSpec(workload="vortex", steps=1, nx=16, ny=16, nz=8)
+
+
+def test_expansion_is_deterministic_and_pure():
+    es = EnsembleSpec(base=BASE, members=5, seed=42)
+    first = es.expand()
+    second = es.expand()
+    assert len(first) == 5
+    assert [s.seed for s in first] == [s.seed for s in second]
+    assert [s.workload_kwargs for s in first] == [
+        s.workload_kwargs for s in second]
+    # expansion never mutates the base
+    assert BASE.seed is None and BASE.workload_kwargs == {}
+
+
+def test_control_member_is_the_unperturbed_base():
+    specs = EnsembleSpec(base=BASE, members=4, seed=1).expand()
+    assert specs[0].seed is None
+    assert specs[0].workload_kwargs == {}
+    assert specs[0].spec_hash() == BASE.spec_hash()
+    for m in (1, 2, 3):
+        assert specs[m].seed is not None
+        assert specs[m].spec_hash() != BASE.spec_hash()
+
+
+def test_no_control_perturbs_member_zero():
+    specs = EnsembleSpec(base=BASE, members=2, seed=1,
+                         control=False).expand()
+    assert specs[0].seed is not None
+    assert specs[0].spec_hash() != BASE.spec_hash()
+
+
+def test_members_are_pairwise_distinct():
+    specs = EnsembleSpec(base=BASE, members=6, seed=9).expand()
+    hashes = [s.spec_hash() for s in specs]
+    assert len(set(hashes)) == 6
+
+
+def test_different_ensemble_seeds_give_different_members():
+    a = EnsembleSpec(base=BASE, members=3, seed=1).expand()
+    b = EnsembleSpec(base=BASE, members=3, seed=2).expand()
+    assert a[1].spec_hash() != b[1].spec_hash()
+
+
+def test_member_sub_seeds_are_independent():
+    # growing the ensemble or renaming a perturbation never changes what
+    # an existing member draws
+    assert member_seed(7, 3, "ic-noise") == member_seed(7, 3, "ic-noise")
+    assert member_seed(7, 3, "ic-noise") != member_seed(7, 4, "ic-noise")
+    assert member_seed(7, 3, "ic-noise") != member_seed(8, 3, "ic-noise")
+    assert member_seed(7, 3, "ic-noise") != member_seed(7, 3, "jitter-vmax")
+
+
+def test_member_reproduces_standalone_bitwise():
+    # the expanded spec is self-contained: running it twice through the
+    # ordinary facade gives bit-identical fields — the property member
+    # retry and caching depend on
+    spec = EnsembleSpec(base=BASE, members=3, seed=42).expand()[2]
+    a = Experiment(spec).prepare().run()
+    b = Experiment(spec).prepare().run()
+    assert np.array_equal(a.state.rhotheta, b.state.rhotheta)
+    assert np.array_equal(a.state.rhou, b.state.rhou)
+    assert a.series == b.series
+
+
+def test_param_jitter_writes_concrete_values():
+    specs = EnsembleSpec(base=BASE, members=2, seed=0).expand()
+    kwargs = specs[1].workload_kwargs
+    assert isinstance(kwargs["vmax"], float) and kwargs["vmax"] > 0
+    assert isinstance(kwargs["rmax"], float) and kwargs["rmax"] > 0
+
+
+def test_param_jitter_respects_explicit_base_kwargs():
+    base = RunSpec(workload="vortex", steps=1, nx=16, ny=16, nz=8,
+                   workload_kwargs={"vmax": 30.0})
+    spec = EnsembleSpec(base=base, members=2, seed=0).expand()[1]
+    # lognormal sigma 0.1: the jittered value stays near the 30 override,
+    # nowhere near the factory default of 15
+    assert 20.0 < spec.workload_kwargs["vmax"] < 45.0
+
+
+def test_default_catalogue_covers_every_workload():
+    from repro.api import WORKLOADS
+
+    for workload in WORKLOADS:
+        perts = default_perturbations(workload)
+        assert perts, workload
+        assert any(isinstance(p, ICNoise) for p in perts)
+    with pytest.raises(ValueError):
+        default_perturbations("nope")
+
+
+def test_jitter_of_unknown_parameter_is_an_error():
+    es = EnsembleSpec(base=BASE, members=2, seed=0,
+                      perturbations=(ParamJitter("j", key="nope"),))
+    with pytest.raises(ValueError, match="jitterable"):
+        es.expand()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnsembleSpec(base=BASE, members=0)
+    with pytest.raises(ValueError):
+        EnsembleSpec(base=RunSpec(workload="nope"))
+
+
+# ------------------------------------------------------ CLI grammar
+def test_parse_perturbation_grammar():
+    p = parse_perturbation("ic")
+    assert isinstance(p, ICNoise)
+    assert p.theta_noise is None
+    p = parse_perturbation("ic:0.5")
+    assert p.theta_noise == 0.5 and p.wind_noise is None
+    p = parse_perturbation("ic:0.5,0.2")
+    assert (p.theta_noise, p.wind_noise) == (0.5, 0.2)
+    j = parse_perturbation("vmax~0.15")
+    assert isinstance(j, ParamJitter)
+    assert (j.key, j.sigma) == ("vmax", 0.15)
+
+
+@pytest.mark.parametrize("bad", ["", "~0.1", "vmax~", "wat"])
+def test_parse_perturbation_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_perturbation(bad)

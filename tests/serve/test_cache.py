@@ -55,3 +55,19 @@ def test_zero_capacity_disables_caching():
     assert cache.get("a") is None
     with pytest.raises(ValueError):
         ResultCache(-1)
+
+
+def test_seed_participates_in_the_cache_key():
+    """Ensemble members differ only by seed: same seed must hit (a
+    retried member reuses its result), different seeds must miss."""
+    from repro.api import RunSpec
+
+    cache = ResultCache(4)
+    member = RunSpec(workload="vortex", nx=16, ny=16, nz=8, steps=2,
+                     seed=7)
+    cache.put(member.spec_hash(), "member-7-state")
+    same = RunSpec(workload="vortex", nx=16, ny=16, nz=8, steps=2, seed=7)
+    other = RunSpec(workload="vortex", nx=16, ny=16, nz=8, steps=2,
+                    seed=8)
+    assert cache.get(same.spec_hash()) == "member-7-state"
+    assert cache.get(other.spec_hash()) is None

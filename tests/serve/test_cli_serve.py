@@ -81,3 +81,57 @@ def test_serve_faulty_workload_file_is_a_clear_error(tmp_path, capsys):
     assert main(["serve", "--workload-file", str(bad)]) != 0
     err = capsys.readouterr().err
     assert "bad.jsonl:2" in err
+
+
+def test_workload_round_trip_keeps_seed_and_member(tmp_path):
+    subs = [
+        Submission(t=0.0, spec=RunSpec(workload="vortex", nx=16, ny=16,
+                                       nz=8, steps=2, seed=123), member=1),
+        Submission(t=0.1, spec=RunSpec(workload="vortex", nx=16, ny=16,
+                                       nz=8, steps=2)),
+    ]
+    path = tmp_path / "ens.jsonl"
+    dump_workload(subs, str(path))
+    loaded = load_workload(str(path))
+    assert loaded[0].spec.seed == 123
+    assert loaded[0].member == 1
+    # identity survives the file: the reloaded member hashes identically
+    assert loaded[0].spec.spec_hash() == subs[0].spec.spec_hash()
+    assert loaded[1].spec.seed is None and loaded[1].member is None
+    # both are metadata-elided when unset — old files stay valid, new
+    # files stay minimal
+    first, second = path.read_text().splitlines()
+    assert '"member"' in first and '"seed"' in first
+    assert '"member"' not in second and '"seed"' not in second
+
+
+def test_poisson_member_bursts_are_correlated_gangs():
+    from repro.serve import poisson_workload
+
+    subs = poisson_workload(40, seed=3, ensemble_fraction=0.5,
+                            ensemble_members=4)
+    assert len(subs) == 40
+    members = [s for s in subs if s.member is not None]
+    assert members
+    gangs = {}
+    for s in members:
+        gangs.setdefault(s.t, []).append(s)
+    for gang in gangs.values():
+        gang.sort(key=lambda s: s.member)
+        # one instant, consecutive member indices, consecutive seeds off
+        # one gang draw — perturbed copies of one base shape
+        assert [s.member for s in gang] == list(range(len(gang)))
+        seeds = [s.spec.seed for s in gang]
+        assert seeds == [seeds[0] + m for m in range(len(gang))]
+        assert len({s.spec.workload for s in gang}) == 1
+    # bursts stay deterministic per seed
+    again = poisson_workload(40, seed=3, ensemble_fraction=0.5,
+                             ensemble_members=4)
+    assert subs == again
+
+
+def test_poisson_default_stream_has_no_members():
+    from repro.serve import poisson_workload
+
+    subs = poisson_workload(20, seed=5)
+    assert all(s.member is None and s.spec.seed is None for s in subs)

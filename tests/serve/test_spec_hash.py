@@ -85,3 +85,23 @@ def test_parse_ranks_rejects_non_positive_counts(bad):
 def test_normalized_propagates_rank_validation():
     with pytest.raises(ValueError):
         RunSpec(backend="multigpu", ranks="0x4").normalized()
+
+
+# ------------------------------------------------------------ semantic seed
+def test_unset_seed_is_hash_invisible():
+    # every spec hashed before the seed field existed must keep its hash:
+    # seed=None stays out of the canonical form entirely
+    plain = RunSpec(workload="warm-bubble", steps=3)
+    assert "seed" not in plain.canonical_dict()
+    assert (plain.spec_hash()
+            == RunSpec(workload="warm-bubble", steps=3,
+                       seed=None).spec_hash())
+
+
+def test_set_seed_is_semantic():
+    base = RunSpec(workload="warm-bubble", steps=3)
+    seeded = RunSpec(workload="warm-bubble", steps=3, seed=1)
+    assert seeded.canonical_dict()["seed"] == 1
+    assert base.spec_hash() != seeded.spec_hash()
+    assert seeded.spec_hash() != RunSpec(workload="warm-bubble", steps=3,
+                                         seed=2).spec_hash()

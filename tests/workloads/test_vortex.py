@@ -1,0 +1,100 @@
+"""The balanced warm-core vortex: initial balance, CFL-safe defaults,
+track recording, and seeded-member reproducibility."""
+import numpy as np
+import pytest
+
+from repro.workloads.vortex import make_vortex_case, rankine_wind
+
+
+# ------------------------------------------------------------ wind profile
+def test_rankine_profile_shape():
+    vmax, rmax = 20.0, 10e3
+    r = np.array([0.0, 0.5 * rmax, rmax, 2 * rmax, 4 * rmax])
+    v = rankine_wind(r, vmax, rmax)
+    assert v[0] == 0.0
+    assert v[1] == pytest.approx(0.5 * vmax)
+    assert v[2] == pytest.approx(vmax)          # peak at rmax
+    assert v[2] > v[3] > v[4] > 0.0             # decaying tail
+    # classic Rankine (alpha=1) decays 1/r
+    v1 = rankine_wind(r, vmax, rmax, alpha=1.0)
+    assert v1[3] == pytest.approx(vmax / 2)
+
+
+# --------------------------------------------------------------- balance
+def test_initial_state_is_balanced():
+    """Gradient-wind + hydrostatic construction: the unperturbed vortex
+    barely moves — vertical wind stays a tiny fraction of vmax."""
+    case = make_vortex_case(nx=24, ny=24, nz=10, seed=None)
+    case.run(5)
+    g = case.grid
+    _, _, w = case.state.velocities()
+    max_w = float(np.abs(w[g.isl]).max())
+    assert max_w < 0.01 * case.vmax
+    # the wind field survives near its analytic amplitude
+    assert case.max_wind() == pytest.approx(case.vmax, rel=0.25)
+
+
+def test_center_recovered_at_domain_center():
+    case = make_vortex_case(nx=24, ny=24, nz=10, seed=None)
+    cx, cy = case.center_of_low()
+    assert (cx, cy) == pytest.approx(case.center, abs=case.grid.dx)
+    assert case.min_surface_p_pert() < 0.0      # a low, not a high
+
+
+def test_defaults_are_cfl_safe():
+    case = make_vortex_case()
+    adv, acoustic = case.courant_numbers()
+    assert 0.0 < adv < 0.5
+    assert 0.0 < acoustic < 0.5
+
+
+def test_rmax_clamped_to_fit_small_domains():
+    # a jittered rmax larger than the untapered core is clamped, never
+    # rejected — an ensemble member must stay runnable
+    case = make_vortex_case(nx=16, ny=16, nz=8, rmax=50e3)
+    r_cut = 0.45 * min(case.grid.nx * case.grid.dx,
+                       case.grid.ny * case.grid.dy)
+    assert case.rmax == pytest.approx(0.55 * r_cut)
+
+
+# ----------------------------------------------------------------- track
+def test_track_series_records_every_step():
+    case = make_vortex_case(nx=16, ny=16, nz=8)
+    case.run(4)
+    series = case.series()
+    assert len(series["t"]) == 4
+    assert series["t"] == sorted(series["t"])
+    for key in ("cx", "cy", "max_wind", "min_p_pert"):
+        assert len(series[key]) == 4
+    assert all(w > 0 for w in series["max_wind"])
+    assert all(p < 0 for p in series["min_p_pert"])
+
+
+def test_track_replay_is_idempotent():
+    # crash-recovery replays steps; time-keyed points overwrite instead
+    # of duplicating
+    case = make_vortex_case(nx=16, ny=16, nz=8, seed=3)
+    s0 = case.state
+    case.model.run(s0, 2)
+    case.model.run(s0, 2)  # replay the same two steps
+    assert len(case.series()["t"]) == 2
+
+
+# ------------------------------------------------------------ seeded members
+def test_seed_reproduces_bitwise():
+    a = make_vortex_case(nx=16, ny=16, nz=8, seed=7).run(2)
+    b = make_vortex_case(nx=16, ny=16, nz=8, seed=7).run(2)
+    assert np.array_equal(a.rhotheta, b.rhotheta)
+    assert np.array_equal(a.rhou, b.rhou)
+
+
+def test_different_seeds_diverge():
+    a = make_vortex_case(nx=16, ny=16, nz=8, seed=1).run(2)
+    b = make_vortex_case(nx=16, ny=16, nz=8, seed=2).run(2)
+    assert not np.array_equal(a.rhotheta, b.rhotheta)
+
+
+def test_physics_variant_moistens_the_core():
+    case = make_vortex_case(nx=16, ny=16, nz=8, physics=True)
+    qv = case.state.q["qv"]
+    assert float(qv.max()) > 0.0
