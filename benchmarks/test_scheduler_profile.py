@@ -1,0 +1,56 @@
+"""Scheduler self-profiling under load — how fast the event loop and
+the gang scheduler actually are, measured from the inside.
+
+A seeded 400-job Poisson workload is replayed through a 16-GPU fleet
+and the SchedulerProfile accumulated during the run is written to
+``benchmarks/reports/BENCH_scheduler.json``.  The deterministic half
+(event counts, pass counts, queue-scan distribution, modeled rates) is
+gated by ``repro doctor --regress`` in CI; everything machine-dependent
+lives under the ``wall`` key, which the gate ignores by default.
+"""
+from bench_json import write_bench_json
+from repro.perf.report import format_table
+from repro.serve import ForecastService, GpuFleet, poisson_workload
+
+N_JOBS = 400
+N_GPUS = 16
+SEED = 0
+
+
+def test_scheduler_profile(benchmark, emit):
+    def run():
+        svc = ForecastService(GpuFleet(N_GPUS), policy="sjf",
+                              execute=False)
+        report = svc.run(poisson_workload(N_JOBS, seed=SEED))
+        return svc, report
+
+    svc, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    profile = svc.profile
+    d = profile.as_dict()
+
+    emit(svc.profile.text())
+    emit(format_table(
+        ["jobs", "gpus", "events", "passes", "ev/modeled s", "ev/wall s"],
+        [[N_JOBS, N_GPUS, d["events"]["total"], d["passes"]["count"],
+          d["modeled"]["events_per_modeled_s"],
+          d["wall"]["events_per_wall_s"]]],
+        title=f"Scheduler profile — {N_JOBS} jobs, {N_GPUS} GPUs, "
+              f"seed {SEED}"))
+
+    write_bench_json("scheduler", {
+        "n_jobs": N_JOBS, "n_gpus": N_GPUS, "seed": SEED,
+        **d,
+    })
+
+    # the profile accounts for every event the loop processed
+    assert d["events"]["by_kind"]["arrive"] == N_JOBS
+    assert d["events"]["total"] == sum(d["events"]["by_kind"].values())
+    # one queue-scan sample per schedule pass
+    assert d["passes"]["queue_scan"]["count"] == d["passes"]["count"] > 0
+    # started jobs + cache hits cover the whole stream
+    assert d["passes"]["started"] == report.n_done
+    assert report.n_done + report.n_cached == N_JOBS
+    # modeled rates are derived from the replay, not the machine
+    # (as_dict rounds to 9 decimals for stable JSON)
+    assert d["modeled"]["makespan_s"] == round(report.makespan_s, 9)
+    assert d["modeled"]["events_per_modeled_s"] > 0

@@ -24,12 +24,18 @@ Commands
              spread / percentiles plus the coverage stamp; exit 1 flags
              a degraded product (docs/ENSEMBLE.md)
 ``doctor``   the perf doctor (docs/DOCTOR.md): critical-path and overlap
-             attribution over a trace or the modeled overlap methods, plus
-             the ``--regress`` bench regression gate over BENCH_*.json
+             attribution over a trace or the modeled overlap methods, the
+             ``--regress`` bench regression gate over BENCH_*.json
+             (wall-clock keys ignored unless ``--strict-wall``), and the
+             ``--fleet`` telemetry summary of a serve trace
+``top``      terminal fleet view from serve telemetry — live (a seeded
+             Poisson run, scheduling only) or ``--replay`` of an exported
+             serve trace; utilization, queue depth, wait/turnaround
+             p50/p95/p99, cache hit rate, alerts (docs/OBSERVABILITY.md)
 ``info``     device specs and calibration anchors
 
 Diagnostic commands (``trace``, ``analyze``, ``doctor``, ``serve``,
-``ensemble``) share one exit-code convention: 0 = clean, 1 =
+``ensemble``, ``top``) share one exit-code convention: 0 = clean, 1 =
 findings/alerts, 2 = usage error.
 
 The CLI is a thin veneer over :class:`repro.api.Experiment`; everything it
@@ -244,6 +250,33 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--trace", type=str, default=None, metavar="OUT.json",
                      help="export the whole service run as one Chrome "
                           "trace (per-job spans + queue-depth counters)")
+    srv.add_argument("--trace-jsonl", type=str, default=None,
+                     metavar="OUT.jsonl",
+                     help="also export the run as a JSONL event stream "
+                          "(replayable with 'repro top --replay')")
+    srv.add_argument("--flight-recorder", type=str, default=None,
+                     metavar="OUT.jsonl",
+                     help="attach the black-box flight recorder: a "
+                          "bounded ring of service events dumped here "
+                          "automatically on crash/alert, or in full at "
+                          "the end of a clean run (docs/OBSERVABILITY.md)")
+    srv.add_argument("--recorder-capacity", type=int, default=4096,
+                     metavar="N",
+                     help="flight-recorder ring capacity (default 4096)")
+    srv.add_argument("--prometheus", type=str, default=None,
+                     metavar="OUT.prom",
+                     help="write the final telemetry snapshot in "
+                          "Prometheus text exposition format")
+    srv.add_argument("--timeseries-csv", type=str, default=None,
+                     metavar="OUT.csv",
+                     help="write the fixed-interval snapshot grid as CSV")
+    srv.add_argument("--ts-interval", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="snapshot grid interval in modeled seconds "
+                          "(default 0.05)")
+    srv.add_argument("--profile-scheduler", action="store_true",
+                     help="print the scheduler self-profile (event rates, "
+                          "pass durations, queue-scan stats) to stderr")
     srv.add_argument("--slo", type=str, default=None, metavar="RULES",
                      help="comma-separated health objectives, e.g. "
                           "'p95_wait_s<0.5,queue_depth<32' or burn-rate "
@@ -352,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="FRAC",
                      help="gate: fail (exit 1) when the hidden-"
                           "communication fraction is below FRAC")
+    doc.add_argument("--fleet", action="store_true",
+                     help="fleet telemetry summary of a serve --trace "
+                          "artifact (the single-shot form of 'repro "
+                          "top'); exit 1 when alerts fired")
     doc.add_argument("--regress", type=str, default=None,
                      metavar="CURRENT.json",
                      help="bench regression gate: diff this BENCH_*.json "
@@ -367,8 +404,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-metric tolerance override, e.g. "
                           "'*.gflops=0.1'; TOL 'ignore' skips the metric "
                           "(repeatable)")
+    doc.add_argument("--strict-wall", action="store_true",
+                     help="--regress: gate wall-clock keys (dotted path "
+                          "matching *wall*) too; they are ignored by "
+                          "default because they measure the machine, "
+                          "not the model")
     doc.add_argument("--json", action="store_true",
                      help="emit the report as JSON instead of text")
+
+    top = sub.add_parser(
+        "top",
+        help="terminal fleet view from serve telemetry "
+             "(docs/OBSERVABILITY.md)",
+        epilog=_EXIT_CODES)
+    top.add_argument("--replay", type=str, default=None, metavar="TRACE",
+                     help="replay an exported serve trace (Chrome JSON "
+                          "or JSONL, from 'repro serve --trace/"
+                          "--trace-jsonl') instead of running live")
+    top.add_argument("--interval", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="snapshot grid interval in modeled seconds "
+                          "(default 0.05)")
+    top.add_argument("--frames", type=int, default=12,
+                     help="frame-table rows to print (0 hides the "
+                          "frame-by-frame replay)")
+    top.add_argument("--json", action="store_true",
+                     help="emit the fleet view as JSON instead of text")
+    top.add_argument("--jobs", type=int, default=100,
+                     help="live mode: synthetic Poisson workload size")
+    top.add_argument("--rate", type=float, default=80.0,
+                     help="live mode: arrival rate [jobs per modeled s]")
+    top.add_argument("--seed", type=int, default=0,
+                     help="live mode: workload seed")
+    top.add_argument("--gpus", type=int, default=8,
+                     help="live mode: fleet size")
+    top.add_argument("--policy", default="fifo",
+                     choices=["fifo", "priority", "sjf"],
+                     help="live mode: queue ordering policy")
+    top.add_argument("--queue-limit", type=int, default=64,
+                     help="live mode: queue bound")
+    top.add_argument("--slo", type=str, default=None, metavar="RULES",
+                     help="live mode: health objectives (as in 'repro "
+                          "serve --slo')")
 
     sub.add_parser("info", help="device specs and calibration anchors")
 
@@ -639,10 +716,21 @@ def _cmd_serve(args) -> int:
                                        seed=args.seed)
 
     session = None
-    if args.trace:
+    if (args.trace or args.trace_jsonl or args.prometheus
+            or args.timeseries_csv):
         from .obs import TraceSession
 
         session = TraceSession(name="serve")
+    recorder = None
+    if args.flight_recorder:
+        from .obs import FlightRecorder
+
+        try:
+            recorder = FlightRecorder(args.recorder_capacity,
+                                      path=args.flight_recorder)
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
     try:
         service = ForecastService(
             GpuFleet(args.gpus, device_spec(args.device)),
@@ -654,6 +742,7 @@ def _cmd_serve(args) -> int:
             faults=args.faults,
             session=session,
             slo=args.slo,
+            recorder=recorder,
             execute=not args.no_execute,
         )
     except ValueError as exc:        # e.g. a malformed --slo expression
@@ -661,11 +750,41 @@ def _cmd_serve(args) -> int:
         return 2
     report = service.run(submissions)
     if session is not None:
-        from .obs import write_chrome_trace
+        from .obs import write_chrome_trace, write_jsonl
 
         session.finalize()
-        print(f"trace: {write_chrome_trace(session, args.trace)}",
-              file=sys.stderr)
+        if args.trace:
+            print(f"trace: {write_chrome_trace(session, args.trace)}",
+                  file=sys.stderr)
+        if args.trace_jsonl:
+            print(f"trace events: "
+                  f"{write_jsonl(session, args.trace_jsonl)}",
+                  file=sys.stderr)
+        if args.prometheus or args.timeseries_csv:
+            from .obs import fleet_view_from_session
+
+            view = fleet_view_from_session(session,
+                                           interval=args.ts_interval)
+            snaps = view.snapshots
+            # fold the end-of-run registry onto the grid so the scrape
+            # also carries the serve gauges and job counters
+            snaps.ingest_registry(session.metrics,
+                                  max(snaps.t_max, report.makespan_s))
+            if args.prometheus:
+                print(f"prometheus: "
+                      f"{snaps.write_prometheus(args.prometheus)}",
+                      file=sys.stderr)
+            if args.timeseries_csv:
+                print(f"timeseries: "
+                      f"{snaps.write_csv(args.timeseries_csv)}",
+                      file=sys.stderr)
+    if recorder is not None:
+        state = (f"tripped by {recorder.last_trip}" if recorder.trips
+                 else "clean run, full history")
+        print(f"flight recorder: {args.flight_recorder} "
+              f"({len(recorder)} events, {state})", file=sys.stderr)
+    if args.profile_scheduler:
+        print(service.profile.text(), file=sys.stderr)
     if args.json:
         print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
@@ -844,13 +963,31 @@ def _cmd_doctor(args) -> int:
             tolerances = _parse_tolerances(args.tolerance)
             gate = regression_gate(args.baseline, args.regress,
                                    rel_tol=args.rel_tol,
-                                   tolerances=tolerances)
+                                   tolerances=tolerances,
+                                   ignore_wall=not args.strict_wall)
         except (OSError, SchemaMismatch, ValueError) as exc:
             print(f"doctor: {exc}", file=sys.stderr)
             return 2
         print(_json.dumps(gate.as_dict(), indent=2, sort_keys=True)
               if args.json else gate.text())
         return gate.exit_status()
+
+    if args.fleet:
+        if not args.trace:
+            print("doctor: --fleet needs --trace TRACE (a serve trace "
+                  "artifact)", file=sys.stderr)
+            return 2
+        from .obs import fleet_view_from_trace, render_fleet_view
+        from .obs.doctor import load_trace
+
+        try:
+            view = fleet_view_from_trace(load_trace(args.trace))
+        except (OSError, ValueError) as exc:
+            print(f"doctor: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(view.as_dict(), indent=2, sort_keys=True)
+              if args.json else render_fleet_view(view))
+        return 1 if view.alerts else 0
 
     if args.roofline:
         return _doctor_roofline(args)
@@ -878,6 +1015,51 @@ def _cmd_doctor(args) -> int:
         report.require_min_hidden(args.min_hidden)
     print(report.as_json() if args.json else report.text())
     return report.exit_status()
+
+
+# ----------------------------------------------------------------------- top
+def _cmd_top(args) -> int:
+    """``repro top``: the terminal fleet view — replay an exported serve
+    trace, or run a live scheduling-only Poisson workload and view it."""
+    import json as _json
+
+    from .obs import (fleet_view_from_session, fleet_view_from_trace,
+                      render_fleet_view, render_frames)
+
+    if args.replay:
+        from .obs.doctor import load_trace
+
+        try:
+            view = fleet_view_from_trace(load_trace(args.replay),
+                                         interval=args.interval)
+        except (OSError, ValueError) as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from .obs import TraceSession
+        from .serve import ForecastService, GpuFleet, poisson_workload
+
+        session = TraceSession(name="top")
+        try:
+            service = ForecastService(
+                GpuFleet(args.gpus), policy=args.policy,
+                queue_limit=args.queue_limit, session=session,
+                slo=args.slo, execute=False)
+        except ValueError as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 2
+        service.run(poisson_workload(args.jobs, rate=args.rate,
+                                     seed=args.seed))
+        session.finalize()
+        view = fleet_view_from_session(session, interval=args.interval)
+    if args.json:
+        print(_json.dumps(view.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_fleet_view(view))
+        if args.frames:
+            print()
+            print(render_frames(view, frames=args.frames))
+    return 1 if view.alerts else 0
 
 
 # --------------------------------------------------------------------- info
@@ -917,6 +1099,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ensemble(args)
     if args.command == "doctor":
         return _cmd_doctor(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "reproduce":
         from .reproduce import write_experiments
 

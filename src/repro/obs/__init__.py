@@ -31,9 +31,22 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricTypeConflict,
     percentile,
     percentile_summary,
 )
+from .recorder import FlightRecorder, RecordedEvent, load_flight_dump
+from .telemetry import (
+    FleetView,
+    SchedulerProfile,
+    build_fleet_view,
+    fleet_view_from_session,
+    fleet_view_from_trace,
+    render_fleet_view,
+    render_frames,
+    sparkline,
+)
+from .timeseries import SeriesKey, Snapshot, SnapshotSeries
 from .trace import (
     CounterRecord,
     DeviceOpRecord,
@@ -54,7 +67,13 @@ __all__ = [
     "chrome_trace", "write_chrome_trace",
     "jsonl_events", "write_jsonl", "summary_text",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricTypeConflict",
     "percentile", "percentile_summary",
+    "FlightRecorder", "RecordedEvent", "load_flight_dump",
+    "SchedulerProfile", "FleetView", "build_fleet_view",
+    "fleet_view_from_trace", "fleet_view_from_session",
+    "render_fleet_view", "render_frames", "sparkline",
+    "SeriesKey", "Snapshot", "SnapshotSeries",
     "doctor",
 ]
 

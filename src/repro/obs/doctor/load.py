@@ -15,8 +15,10 @@ machine, or by CI) can be diagnosed post hoc.
 * **JSONL** (``.jsonl``): the stream is self-describing; ``device_op``
   and ``counter`` lines round-trip exactly.
 
-Host spans and flow arrows are counted but not reconstructed — the
-doctor's analyses are device- and counter-centric.
+Host spans, instants, and the end-of-run metrics payload are
+reconstructed too (the fleet view behind ``repro top`` reads alert
+instants and the serve gauges from here); flow arrows are counted but
+not reconstructed — no analysis consumes them yet.
 """
 from __future__ import annotations
 
@@ -24,7 +26,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..trace import DeviceOpRecord
+from ..trace import DeviceOpRecord, InstantRecord, SpanRecord
 
 __all__ = ["LoadedTrace", "load_trace"]
 
@@ -42,6 +44,11 @@ class LoadedTrace:
     #: (pid label, counter name) -> [(ts, value), ...] in stream order
     counters: dict[tuple[str, str], list[tuple[float, float]]] = \
         field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    instants: list[InstantRecord] = field(default_factory=list)
+    #: the session's end-of-run MetricsRegistry payload (JSONL metrics
+    #: line / Chrome ``otherData.metrics``), {} when absent
+    metrics: dict[str, Any] = field(default_factory=dict)
     n_spans: int = 0
     n_flows: int = 0
 
@@ -61,8 +68,11 @@ def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
     if not isinstance(events, list):
         raise ValueError("not a Chrome Trace Format file "
                          "(no traceEvents array)")
-    session = (doc.get("otherData") or {}).get("session", name)
-    trace = LoadedTrace(name=str(session))
+    other = doc.get("otherData") or {}
+    trace = LoadedTrace(name=str(other.get("session", name)))
+    metrics = other.get("metrics")
+    if isinstance(metrics, dict):
+        trace.metrics = metrics
 
     pid_label: dict[int, str] = {}
     tid_label: dict[tuple[int, int], str] = {}
@@ -77,12 +87,21 @@ def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
     def plabel(pid: int) -> str:
         return pid_label.get(pid, f"pid{pid}")
 
+    def tlabel(ev: dict[str, Any]) -> str:
+        return tid_label.get((ev["pid"], ev.get("tid", 0)),
+                             f"tid{ev.get('tid', 0)}")
+
     for ev in events:
         ph = ev.get("ph")
         if ph == "X":
             cat = ev.get("cat", "")
             if cat not in _OP_KINDS:
                 trace.n_spans += 1
+                trace.spans.append(SpanRecord(
+                    name=ev.get("name", "?"), ts=ev["ts"] / 1e6,
+                    dur=ev.get("dur", 0.0) / 1e6, pid=plabel(ev["pid"]),
+                    tid=tlabel(ev), cat=cat,
+                    args=ev.get("args") or {}))
                 continue
             pid = plabel(ev["pid"])
             tid = tid_label.get((ev["pid"], ev["tid"]), f"tid{ev['tid']}")
@@ -103,6 +122,11 @@ def _load_chrome(doc: dict[str, Any], name: str) -> LoadedTrace:
                 trace.counters.setdefault(
                     (pid, ev.get("name", "?")), []).append(
                         (ev["ts"] / 1e6, float(value)))
+        elif ph == "i":
+            trace.instants.append(InstantRecord(
+                name=ev.get("name", "?"), ts=ev["ts"] / 1e6,
+                pid=plabel(ev["pid"]), tid=tlabel(ev),
+                cat=ev.get("cat", "host"), args=ev.get("args") or {}))
         elif ph in ("s", "f"):
             trace.n_flows += 1
     return trace
@@ -137,6 +161,17 @@ def _load_jsonl(lines: list[str], name: str) -> LoadedTrace:
                     (float(ev["ts"]), float(ev["value"])))
         elif etype == "span":
             trace.n_spans += 1
+            trace.spans.append(SpanRecord(
+                name=ev["name"], ts=ev["ts"], dur=ev["dur"],
+                pid=ev.get("pid", "host"), tid=ev.get("tid", "main"),
+                cat=ev.get("cat", "host"), args=ev.get("args") or {}))
+        elif etype == "instant":
+            trace.instants.append(InstantRecord(
+                name=ev["name"], ts=ev["ts"],
+                pid=ev.get("pid", "host"), tid=ev.get("tid", "main"),
+                cat=ev.get("cat", "host"), args=ev.get("args") or {}))
+        elif etype == "metrics":
+            trace.metrics = {k: v for k, v in ev.items() if k != "type"}
         elif etype == "flow":
             trace.n_flows += 1
     return trace

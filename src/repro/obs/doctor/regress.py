@@ -213,8 +213,16 @@ def regression_gate(
     rel_tol: float = 0.05,
     abs_tol: float = 1e-12,
     tolerances: dict[str, float] | None = None,
+    ignore_wall: bool = True,
 ) -> RegressionReport:
     """Load two BENCH artifacts, enforce schema compatibility, and diff.
+
+    Wall-clock leaves (dotted path matching ``*wall*``) are ignored by
+    default — every artifact that records machine-dependent timings
+    names them with ``wall``, and gating them made each CI caller repeat
+    ``--tolerance '*wall*=ignore'``.  Pass ``ignore_wall=False``
+    (CLI ``--strict-wall``) to gate them, or override the ``*wall*``
+    pattern in ``tolerances`` explicitly.
 
     Raises :class:`SchemaMismatch` when either side is unversioned or
     the versions differ; callers surface that as a usage error (exit 2),
@@ -237,6 +245,9 @@ def regression_gate(
             f"diff artifacts with different layouts")
     b = {k: v for k, v in baseline.items() if k != "schema_version"}
     c = {k: v for k, v in current.items() if k != "schema_version"}
+    if ignore_wall and "*wall*" not in (tolerances or {}):
+        tolerances = dict(tolerances or {})
+        tolerances["*wall*"] = None
     counter = [0]
     drifts = compare_bench(b, c, rel_tol=rel_tol, abs_tol=abs_tol,
                            tolerances=tolerances, _counter=counter)

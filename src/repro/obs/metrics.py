@@ -11,11 +11,12 @@ Stdlib-only (see :mod:`repro.obs.trace` for why).
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "percentile", "percentile_summary"]
+           "MetricTypeConflict", "percentile", "percentile_summary"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -41,12 +42,16 @@ def percentile(values: Sequence[float], q: float) -> float:
 def percentile_summary(values: Iterable[float]) -> dict[str, float]:
     """The repo's standard distribution summary — the shape used by the
     serve report's wait/turnaround blocks and the doctor's windows."""
-    xs = [float(v) for v in values]
+    # sorted before summing: the mean must be bitwise-identical no matter
+    # what order the samples arrived in (report vs. replayed trace)
+    xs = sorted(float(v) for v in values)
     if not xs:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "max": 0.0}
     return {"mean": sum(xs) / len(xs),
             "p50": percentile(xs, 50),
             "p95": percentile(xs, 95),
+            "p99": percentile(xs, 99),
             "max": max(xs)}
 
 
@@ -74,17 +79,29 @@ class Gauge:
         self.value = float(value)
 
 
+#: log-bucket resolution of :class:`Histogram` quantiles — 8 buckets per
+#: octave (bucket width factor 2^(1/8)), so a quantile's geometric-
+#: midpoint representative is within ~4.4% of the true sample
+_BUCKETS_PER_OCTAVE = 8
+
+
 @dataclass
 class Histogram:
     """Streaming summary of an observed distribution (count / sum /
     min / max / mean — enough for launch-duration style telemetry
-    without retaining every sample)."""
+    without retaining every sample), plus deterministic log-bucketed
+    counts so :meth:`quantile` can answer p50/p95/p99 without numpy
+    and without keeping the samples."""
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    #: log2-bucket index (floor(log2(v) * _BUCKETS_PER_OCTAVE)) -> count
+    buckets: dict[int, int] = field(default_factory=dict)
+    #: observations <= 0, kept out of the log buckets
+    nonpositive: int = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -93,20 +110,57 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if value > 0:
+            idx = math.floor(math.log2(value) * _BUCKETS_PER_OCTAVE)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        else:
+            self.nonpositive += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Log-bucketed quantile estimate: the geometric midpoint of the
+        bucket holding rank ``q``, clamped to the observed min/max.
+        Deterministic for a deterministic observation multiset (order-
+        independent), which is what lets quantile summaries live in
+        gated BENCH artifacts."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("quantile q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil((q / 100.0) * self.count))
+        seen = self.nonpositive
+        if rank <= seen:
+            return self.min          # all non-positives collapse to min
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if rank <= seen:
+                mid = 2.0 ** ((idx + 0.5) / _BUCKETS_PER_OCTAVE)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
     def summary(self) -> dict[str, float]:
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max, "mean": self.mean}
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.quantile(50), "p95": self.quantile(95),
+                "p99": self.quantile(99)}
+
+
+class MetricTypeConflict(TypeError):
+    """One metric name requested as two different types — a silent
+    aliasing bug (a counter named like an existing gauge would split
+    the series across two stores) surfaced as a typed error."""
 
 
 class MetricsRegistry:
-    """Name-keyed get-or-create store of metrics."""
+    """Name-keyed get-or-create store of metrics.  A name belongs to
+    exactly one metric type; cross-type reuse raises
+    :class:`MetricTypeConflict`."""
 
     def __init__(self):
         self.counters: dict[str, Counter] = {}
@@ -114,10 +168,20 @@ class MetricsRegistry:
         self.histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------ access
+    def _reject_cross_type(self, name: str, requested: str) -> None:
+        for kind, store in (("counter", self.counters),
+                            ("gauge", self.gauges),
+                            ("histogram", self.histograms)):
+            if kind != requested and name in store:
+                raise MetricTypeConflict(
+                    f"metric {name!r} is already registered as a {kind}; "
+                    f"cannot reuse the name as a {requested}")
+
     def counter(self, name: str) -> Counter:
         try:
             return self.counters[name]
         except KeyError:
+            self._reject_cross_type(name, "counter")
             c = self.counters[name] = Counter(name)
             return c
 
@@ -125,6 +189,7 @@ class MetricsRegistry:
         try:
             return self.gauges[name]
         except KeyError:
+            self._reject_cross_type(name, "gauge")
             g = self.gauges[name] = Gauge(name)
             return g
 
@@ -132,6 +197,7 @@ class MetricsRegistry:
         try:
             return self.histograms[name]
         except KeyError:
+            self._reject_cross_type(name, "histogram")
             h = self.histograms[name] = Histogram(name)
             return h
 
@@ -157,5 +223,6 @@ class MetricsRegistry:
             lines.append(
                 f"{n:<32} {'hist':>9} "
                 f"n={s['count']} mean={s['mean']:.3g} "
+                f"p95={s['p95']:.3g} "
                 f"min={s['min']:.3g} max={s['max']:.3g}")
         return "\n".join(lines)

@@ -25,6 +25,7 @@ caller (service loop, CLI report) accounts for it explicitly.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 
 from .fleet import GpuFleet
@@ -69,6 +70,12 @@ class GangScheduler:
         self.queue: list[Job] = []
         self.shed: list[QueueFull] = []
         self.backfills = 0        #: jobs started ahead of a reservation
+        # self-profiling accumulators (read by SchedulerProfile): the
+        # O(jobs x gpus) select loop is the fleet-scale hotspot ROADMAP
+        # item 2 names, so its cost is always measured, never sampled
+        self.select_calls = 0
+        self.jobs_scanned = 0     #: queue length summed over selects
+        self.select_wall_s = 0.0
 
     # ------------------------------------------------------- submission
     @property
@@ -118,6 +125,9 @@ class GangScheduler:
         computed from.  The caller starts each returned job (its state
         is already SCHEDULED).
         """
+        wall0 = time.perf_counter()
+        self.select_calls += 1
+        self.jobs_scanned += len(self.queue)
         started: list[Job] = []
         free = fleet.free_gpus
         shadow: float | None = None      # reservation time of the head
@@ -145,6 +155,7 @@ class GangScheduler:
             self.queue.remove(job)
             job.state = JobState.SCHEDULED
             job.note(now, "scheduled")
+        self.select_wall_s += time.perf_counter() - wall0
         return started
 
 

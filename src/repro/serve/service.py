@@ -30,12 +30,15 @@ workload against the same configuration yields an identical
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..api import Experiment, RunResult
 from ..obs.doctor.health import HealthMonitor
 from ..obs.metrics import percentile_summary
+from ..obs.recorder import FlightRecorder
+from ..obs.telemetry import SchedulerProfile
 from ..obs.trace import TraceSession
 from ..resilience.faults import FaultInjector, FaultPlan
 from ..resilience.retry import RetryPolicy
@@ -176,6 +179,7 @@ class ForecastService:
         session: "TraceSession | None" = None,
         slo: "str | list | None" = None,
         monitor: "HealthMonitor | None" = None,
+        recorder: "FlightRecorder | None" = None,
         execute: bool = True,
         on_job_done=None,
     ):
@@ -196,6 +200,15 @@ class ForecastService:
             self.monitor = HealthMonitor(slo)
         else:
             self.monitor = None
+        #: optional flight recorder (black box): structured service
+        #: events land in its bounded ring; it observes but never feeds
+        #: back, so runs are bit-identical with or without it
+        #: (tests/obs/test_recorder.py)
+        self.recorder = recorder
+        #: always-on self-profile of the event loop and scheduler —
+        #: wall-clock phase timers, kept OFF the replay-comparable
+        #: ServiceReport (docs/OBSERVABILITY.md)
+        self.profile = SchedulerProfile()
         #: False skips the real Experiment execution (pure scheduling
         #: studies on huge fleets); results/cache hits are then modeled
         self.execute = execute
@@ -245,6 +258,8 @@ class ForecastService:
             return
         for alert in self.monitor.observe(metric, value, self._clock):
             self._alerts.append(alert.as_dict())
+            self._rec("alert", alert=alert.kind, metric=alert.metric,
+                      observed=alert.observed, rule=alert.rule)
             if self.session is not None:
                 self.session.record_instant(
                     f"alert {alert.metric}", self._clock, pid="service",
@@ -261,6 +276,24 @@ class ForecastService:
                                         tid="events", cat="serve",
                                         args=args or None)
 
+    def _rec(self, kind: str, **fields: Any) -> None:
+        """Flight-recorder tap: O(1), pure observation."""
+        if self.recorder is not None:
+            self.recorder.record(kind, self._clock, **fields)
+
+    def _sample_latency(self, job: Job) -> None:
+        """One exact wait/turnaround sample per completed job, on the
+        trace as counter records — `repro top` recomputes the report's
+        percentile summaries from these, bitwise equal by construction."""
+        if self.session is None:
+            return
+        if job.wait is not None:
+            self.session.record_counter("job.wait_s", job.wait,
+                                        self._clock, pid="service")
+        if job.turnaround is not None:
+            self.session.record_counter("job.turnaround_s", job.turnaround,
+                                        self._clock, pid="service")
+
     # -------------------------------------------------------------- run
     def run(self, submissions: list[Submission]) -> ServiceReport:
         """Replay ``submissions`` to completion and report."""
@@ -275,17 +308,34 @@ class ForecastService:
             self.jobs.append(job)
             self._push(sub.t, "arrive", job)
 
+        wall0 = time.perf_counter()
         while self._events:
             t, _, kind, payload = heapq.heappop(self._events)
             self._clock = max(self._clock, t)
+            self._rec("pop", event=kind,
+                      job=getattr(payload, "index", None))
+            h0 = time.perf_counter()
             getattr(self, f"_on_{kind}")(payload)
+            self.profile.on_event(kind, time.perf_counter() - h0)
             # batch-process simultaneous events before scheduling, so a
             # same-instant release + arrival see one consistent fleet
             if self._events and self._events[0][0] <= self._clock:
                 continue
-            self._schedule_pass()
+            p0 = time.perf_counter()
+            scanned = self.scheduler.depth
+            started = self._schedule_pass()
+            self.profile.on_pass(scanned, started,
+                                 time.perf_counter() - p0)
+            self._rec("pass", scanned=scanned, started=started,
+                      gpus_in_use=self.fleet.in_use)
             self._sample_counters()
-        return self._report()
+        rep = self._report()
+        self.profile.finalize(makespan_s=rep.makespan_s,
+                              run_wall_s=time.perf_counter() - wall0,
+                              scheduler=self.scheduler)
+        if self.recorder is not None:
+            self.recorder.flush_if_untripped()
+        return rep
 
     # ---------------------------------------------------- event handlers
     def _finalize(self, job: Job) -> None:
@@ -310,6 +360,7 @@ class ForecastService:
                          f"{self.fleet.n_gpus}")
             job.note(self._clock, "rejected")
             self._instant(f"reject job{job.index}", reason=job.error)
+            self._rec("reject", job=job.index, reason=job.error)
             self._finalize(job)
             return
         cached = self.cache.get(job.spec_hash)
@@ -320,6 +371,9 @@ class ForecastService:
             job.note(self._clock, "cache-hit")
             self._instant(f"cache-hit job{job.index}",
                           spec_hash=job.spec_hash[:12])
+            self._rec("cache_hit", job=job.index,
+                      spec_hash=job.spec_hash[:12])
+            self._sample_latency(job)
             self._observe("cache_hit_rate", self.cache.hit_rate)
             self._finalize(job)
             return
@@ -327,10 +381,15 @@ class ForecastService:
         if shed is not None:
             self._instant(f"shed job{job.index}", depth=shed.depth,
                           limit=shed.limit)
+            self._rec("shed", job=job.index, depth=shed.depth)
             self._finalize(job)
+        else:
+            self._rec("admit", job=job.index,
+                      depth=self.scheduler.depth)
         self._observe("cache_hit_rate", self.cache.hit_rate)
 
     def _on_requeue(self, job: Job) -> None:
+        self._rec("requeue", job=job.index, attempt=job.attempts)
         self.scheduler.requeue(job, self._clock)
 
     def _on_finish(self, job: Job) -> None:
@@ -339,6 +398,9 @@ class ForecastService:
         job.finished_at = self._clock
         job.note(self._clock, "done")
         self._job_span(job, dur, ok=True)
+        self._rec("finish", job=job.index, gpus=job.gpus_needed,
+                  held_s=round(dur, 9))
+        self._sample_latency(job)
         self.cache.put(job.spec_hash,
                        job.result if job.result is not None else _MODELED)
         if job.turnaround is not None:
@@ -349,6 +411,8 @@ class ForecastService:
         dur = self._release(job)
         job.crashes += 1
         job.note(self._clock, f"crashed (attempt {job.attempts})")
+        self._rec("crash", job=job.index, attempt=job.attempts,
+                  held_s=round(dur, 9))
         self._job_span(job, dur, ok=False)
         # a checkpointing job resumes its retry from the last modeled
         # checkpoint; others restart the attempt from scratch
@@ -363,6 +427,8 @@ class ForecastService:
             self._push(self._clock + backoff, "requeue", job)
             self._instant(f"retry job{job.index}", attempt=job.attempts,
                           backoff_s=backoff)
+            self._rec("retry", job=job.index, attempt=job.attempts,
+                      backoff_s=backoff)
         else:
             job.state = JobState.EVICTED
             job.finished_at = self._clock
@@ -370,14 +436,17 @@ class ForecastService:
                          f"({job.crashes} crashes)")
             job.note(self._clock, "evicted")
             self._instant(f"evict job{job.index}", attempts=job.attempts)
+            self._rec("evict", job=job.index, attempts=job.attempts)
             self._finalize(job)
 
     # -------------------------------------------------------- scheduling
-    def _schedule_pass(self) -> None:
+    def _schedule_pass(self) -> int:
         running = [(finish, self.jobs[idx].gpus_needed)
                    for idx, finish in self._running.items()]
-        for job in self.scheduler.select(self.fleet, running, self._clock):
+        selected = self.scheduler.select(self.fleet, running, self._clock)
+        for job in selected:
             self._start(job)
+        return len(selected)
 
     def _start(self, job: Job) -> None:
         gpus = self.fleet.acquire(job.index, job.gpus_needed)
@@ -387,6 +456,8 @@ class ForecastService:
         job.started_at = self._clock
         job.state = JobState.RUNNING
         job.note(self._clock, "start")
+        self._rec("start", job=job.index, gpus=job.gpus_needed,
+                  attempt=job.attempts)
         if job.wait is not None:
             self._observe("wait_s", job.wait)
         attempt_s = job.est_seconds * (1.0 - job.progress)
@@ -425,6 +496,7 @@ class ForecastService:
         job.note(self._clock, "failed")
         self._job_span(job, dur, ok=False)
         self._instant(f"fail job{job.index}", error=job.error)
+        self._rec("fail", job=job.index, error=job.error)
         self._finalize(job)
 
     def _release(self, job: Job) -> float:
@@ -530,6 +602,7 @@ class ForecastService:
                 m.histogram("serve.wait_s").observe(w)
             for ta in turnarounds:
                 m.histogram("serve.turnaround_s").observe(ta)
+            m.gauge("serve.fleet.gpus").set(rep.n_gpus)
             m.gauge("serve.utilization").set(rep.utilization)
             m.gauge("serve.cache.hit_rate").set(rep.cache_hit_rate)
             m.gauge("serve.makespan_s").set(rep.makespan_s)

@@ -1,7 +1,8 @@
 """Tests of the metrics registry."""
 import pytest
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, MetricTypeConflict
+from repro.obs.metrics import percentile_summary
 
 
 def test_counter_get_or_create_and_inc():
@@ -32,6 +33,66 @@ def test_histogram_summary():
     assert s["min"] == 1.0 and s["max"] == 3.0
     assert s["mean"] == pytest.approx(2.0)
     assert m.histogram("empty").summary()["count"] == 0
+
+
+def test_histogram_quantiles_are_log_bucket_accurate():
+    m = MetricsRegistry()
+    h = m.histogram("lat")
+    values = [0.001 * (i + 1) for i in range(1000)]
+    for v in values:
+        h.observe(v)
+    s = h.summary()
+    # 8 buckets per octave: representatives land within one half-bucket,
+    # i.e. a relative error of at most 2**(1/16) - 1 (~4.4%)
+    tol = 2 ** (1 / 16) - 1
+    assert s["p50"] == pytest.approx(0.500, rel=tol)
+    assert s["p95"] == pytest.approx(0.950, rel=tol)
+    assert s["p99"] == pytest.approx(0.990, rel=tol)
+    assert s["min"] == 0.001 and s["max"] == 1.0
+    assert h.quantile(100) == 1.0
+
+
+def test_histogram_quantiles_are_order_independent():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    values = [0.5, 8.0, 0.01, 2.0, 1.0, 64.0, 0.25]
+    for v in values:
+        a.histogram("h").observe(v)
+    for v in reversed(values):
+        b.histogram("h").observe(v)
+    assert a.histogram("h").summary() == b.histogram("h").summary()
+
+
+def test_histogram_nonpositive_values_count_at_the_bottom():
+    m = MetricsRegistry()
+    h = m.histogram("h")
+    for v in (-1.0, 0.0, 5.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["min"] == -1.0
+    assert h.quantile(50) == -1.0        # nonpositives rank first, at min
+    assert h.quantile(99) == pytest.approx(5.0, rel=2 ** (1 / 16) - 1)
+
+
+def test_cross_type_name_reuse_raises_a_typed_error():
+    m = MetricsRegistry()
+    m.counter("x")
+    with pytest.raises(MetricTypeConflict, match="x.*counter"):
+        m.gauge("x")
+    with pytest.raises(MetricTypeConflict):
+        m.histogram("x")
+    m.gauge("g")
+    with pytest.raises(MetricTypeConflict):
+        m.counter("g")
+    assert issubclass(MetricTypeConflict, TypeError)
+
+
+def test_percentile_summary_reports_p99():
+    s = percentile_summary(float(i) for i in range(1, 101))
+    assert set(s) == {"mean", "p50", "p95", "p99", "max"}
+    assert s["p95"] <= s["p99"] <= s["max"] == 100.0
+    assert s["p99"] == pytest.approx(99.0, abs=0.1)
+    assert percentile_summary([])["p99"] == 0.0
 
 
 def test_as_dict_and_report():

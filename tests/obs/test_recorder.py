@@ -1,0 +1,147 @@
+"""Flight recorder: ring bound, trip/dump semantics, crash coverage,
+and the non-perturbation guarantee (recorder on/off bit-identity)."""
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec
+from repro.obs import FlightRecorder, load_flight_dump
+from repro.serve import ForecastService, GpuFleet, Submission, poisson_workload
+
+
+# --------------------------------------------------------------- the ring
+def test_ring_is_bounded_and_keeps_the_newest_events():
+    rec = FlightRecorder(capacity=8)
+    for i in range(20):
+        rec.record("pop", t=float(i), i=i)
+    assert len(rec) == 8
+    assert rec.recorded == 20
+    assert [ev.fields["i"] for ev in rec.events()] == list(range(12, 20))
+    assert [ev.seq for ev in rec.events()] == list(range(12, 20))
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    rec = FlightRecorder(capacity=16)
+    rec.record("start", t=0.5, job=3, gpus=2)
+    rec.record("finish", t=1.25, job=3)
+    path = rec.dump(str(tmp_path / "dump.jsonl"))
+    header, events = load_flight_dump(path)
+    assert header["capacity"] == 16
+    assert header["recorded"] == 2 and header["dropped"] == 0
+    assert [e["kind"] for e in events] == ["start", "finish"]
+    assert events[0]["job"] == 3 and events[0]["t"] == 0.5
+    assert all("wall" in e for e in events)
+
+
+def test_dump_without_a_path_raises():
+    with pytest.raises(ValueError):
+        FlightRecorder().dump()
+
+
+def test_wall_free_dump_is_deterministic(tmp_path):
+    paths = []
+    for run in ("a", "b"):
+        rec = FlightRecorder(capacity=8)
+        for i in range(5):
+            rec.record("pop", t=i * 0.25, i=i)
+        paths.append(rec.dump(str(tmp_path / f"{run}.jsonl"), wall=False))
+    assert (tmp_path / "a.jsonl").read_bytes() == \
+        (tmp_path / "b.jsonl").read_bytes()
+    _, events = load_flight_dump(paths[0])
+    assert all("wall" not in e for e in events)
+
+
+def test_load_rejects_non_dump_files(tmp_path):
+    path = tmp_path / "not_a_dump.jsonl"
+    path.write_text(json.dumps({"type": "counter"}) + "\n")
+    with pytest.raises(ValueError):
+        load_flight_dump(str(path))
+
+
+# ------------------------------------------------------------- tripping
+def test_incident_kind_trips_an_auto_dump(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    rec = FlightRecorder(capacity=32, path=str(path))
+    rec.record("pop", t=0.0)
+    assert not path.exists()          # ordinary events never write
+    rec.record("crash", t=0.5, job=7)
+    assert path.exists() and rec.trips == 1
+    header, events = load_flight_dump(str(path))
+    assert header["tripped_by"] == "crash"
+    assert events[-1]["kind"] == "crash"
+
+
+def test_later_trip_overwrites_so_dump_covers_latest_incident(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    rec = FlightRecorder(capacity=32, path=str(path))
+    rec.record("crash", t=0.1, job=1)
+    rec.record("pop", t=0.2)
+    rec.record("crash", t=0.3, job=2)
+    _, events = load_flight_dump(str(path))
+    assert events[-1]["kind"] == "crash" and events[-1]["job"] == 2
+    assert rec.trips == 2
+
+
+def test_flush_if_untripped(tmp_path):
+    clean = FlightRecorder(capacity=8, path=str(tmp_path / "clean.jsonl"))
+    clean.record("pop", t=0.0)
+    assert clean.flush_if_untripped() is not None
+    tripped = FlightRecorder(capacity=8,
+                             path=str(tmp_path / "tripped.jsonl"))
+    tripped.record("alert", t=0.0, metric="wait_s")
+    before = (tmp_path / "tripped.jsonl").read_text()
+    tripped.record("pop", t=1.0)
+    assert tripped.flush_if_untripped() is None
+    assert (tmp_path / "tripped.jsonl").read_text() == before
+
+
+# -------------------------------------------------- black box on the fleet
+def test_crash_fault_run_auto_dumps_and_last_events_cover_the_crash(
+        tmp_path):
+    path = tmp_path / "flight.jsonl"
+    svc = ForecastService(
+        GpuFleet(2), faults="crash@1:x5", execute=False,
+        recorder=FlightRecorder(capacity=64, path=str(path)))
+    rep = svc.run(poisson_workload(8, seed=3, rate=40.0))
+    assert rep.crashes > 0
+    header, events = load_flight_dump(str(path))
+    assert header["tripped_by"] == "crash"
+    crash_events = [e for e in events if e["kind"] == "crash"]
+    assert crash_events and crash_events[-1]["job"] == 1
+    # the dump ends at the moment of the (latest) incident
+    assert events[-1]["kind"] == "crash"
+
+
+def test_service_records_transitions_and_passes():
+    rec = FlightRecorder(capacity=4096)
+    svc = ForecastService(GpuFleet(2), execute=False, recorder=rec)
+    svc.run(poisson_workload(20, seed=0, rate=40.0))
+    kinds = {ev.kind for ev in rec.events()}
+    assert {"pop", "pass", "admit", "start", "finish"} <= kinds
+    assert rec.trips == 0
+
+
+# --------------------------------------------------------- non-perturbing
+def test_recorder_on_off_runs_are_bit_identical_2x2_multigpu():
+    spec = RunSpec(workload="warm-bubble", nx=16, ny=16, nz=8, steps=2,
+                   ranks="2x2", backend="multigpu")
+
+    def run(recorder):
+        svc = ForecastService(GpuFleet(4), recorder=recorder)
+        rep = svc.run([Submission(t=0.0, spec=spec)])
+        return svc, rep
+
+    svc_off, rep_off = run(None)
+    svc_on, rep_on = run(FlightRecorder(capacity=256))
+    assert rep_on.as_dict() == rep_off.as_dict()
+    state_on = svc_on.jobs[0].result.state
+    state_off = svc_off.jobs[0].result.state
+    for name in ("rho", "rhou", "rhov", "rhow", "rhotheta"):
+        assert np.array_equal(getattr(state_on, name),
+                              getattr(state_off, name))

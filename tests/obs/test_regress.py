@@ -76,6 +76,34 @@ def test_tolerance_globs_override_and_ignore():
     assert [d.path for d in drifts] == ["a.fast"]
 
 
+def test_wall_clock_keys_are_ignored_by_default(tmp_path):
+    baseline = {"modeled": {"makespan_s": 1.0},
+                "wall": {"run_wall_s": 0.5, "handlers": {"pop": 0.1}}}
+    current = {"modeled": {"makespan_s": 1.0},
+               "wall": {"run_wall_s": 9.5, "handlers": {"pop": 7.0}}}
+    a = _write(tmp_path, "a.json", baseline)
+    b = _write(tmp_path, "b.json", current)
+    assert regression_gate(a, b).ok              # wall drift invisible
+    # strict mode (doctor --strict-wall) gates the wall keys again
+    report = regression_gate(a, b, ignore_wall=False)
+    assert not report.ok
+    assert {d.path for d in report.drifts} == \
+        {"wall.run_wall_s", "wall.handlers.pop"}
+    # ...and deterministic drift still fails even in the default mode
+    current["modeled"]["makespan_s"] = 2.0
+    c = _write(tmp_path, "c.json", current)
+    report = regression_gate(a, c)
+    assert [d.path for d in report.drifts] == ["modeled.makespan_s"]
+
+
+def test_explicit_wall_tolerance_overrides_the_default(tmp_path):
+    a = _write(tmp_path, "a.json", {"wall": {"t": 1.0}})
+    b = _write(tmp_path, "b.json", {"wall": {"t": 1.5}})
+    # a user-supplied *wall* pattern replaces the implicit ignore
+    report = regression_gate(a, b, tolerances={"*wall*": 0.1})
+    assert not report.ok and report.drifts[0].path == "wall.t"
+
+
 def test_structural_changes_are_flagged():
     drifts = compare_bench({"x": 1.0, "gone": 2.0, "s": "v", "l": [1, 2]},
                            {"x": 1.0, "new": 3.0, "s": "w", "l": [1]})

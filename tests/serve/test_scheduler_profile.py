@@ -1,0 +1,66 @@
+"""Scheduler self-profiling: the SchedulerProfile populated by a run,
+its wall/deterministic split, and the guarantee that none of it leaks
+into the replay-identical ServiceReport."""
+from repro.obs import SchedulerProfile
+from repro.serve import ForecastService, GpuFleet, poisson_workload
+
+
+def _run(n_jobs=60, **kw):
+    svc = ForecastService(GpuFleet(4), execute=False, **kw)
+    rep = svc.run(poisson_workload(n_jobs, seed=7, rate=60.0))
+    return svc, rep
+
+
+def test_profile_is_populated_by_a_run():
+    svc, rep = _run()
+    p = svc.profile
+    assert p.events_total == sum(p.events_by_kind.values()) > 0
+    assert p.events_by_kind["arrive"] == rep.n_submitted
+    assert p.passes == p.pass_wall.count > 0
+    assert p.started <= rep.n_done
+    assert p.makespan_s == rep.makespan_s
+    assert p.select_calls > 0 and p.jobs_scanned >= 0
+    assert p.run_wall_s > 0.0
+
+
+def test_wall_keys_are_confined_to_the_wall_section():
+    svc, _ = _run()
+    d = svc.profile.as_dict()
+    assert set(d) == {"events", "passes", "modeled", "wall"}
+
+    def walk(node, path=""):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                yield from walk(v, f"{path}.{k}")
+        else:
+            yield path
+    for path in walk({k: v for k, v in d.items() if k != "wall"}):
+        assert "wall" not in path, path
+    assert "run_wall_s" in d["wall"]
+    assert "handlers" in d["wall"]
+
+
+def test_deterministic_half_is_replay_stable():
+    def det(profile: SchedulerProfile):
+        d = profile.as_dict()
+        d.pop("wall")
+        return d
+    a, _ = _run()
+    b, _ = _run()
+    assert det(a.profile) == det(b.profile)
+
+
+def test_profile_stays_off_the_service_report():
+    svc, rep = _run()
+    blob = repr(rep.as_dict())
+    assert "wall" not in blob and "profile" not in blob
+    assert not hasattr(rep, "profile")
+    assert svc.profile.text()        # renders without error
+
+
+def test_events_per_second_rates_are_present():
+    svc, _ = _run()
+    d = svc.profile.as_dict()
+    assert d["modeled"]["events_per_modeled_s"] > 0
+    assert d["wall"]["events_per_wall_s"] > 0
+    assert d["passes"]["queue_scan"]["count"] == d["passes"]["count"]
